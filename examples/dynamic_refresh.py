@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Streaming re-embedding — the paper's §6 future-work direction, prototyped.
+
+The introduction's motivating scenario: Alibaba/LinkedIn-style services must
+re-embed graphs "every few hours" as edges arrive.  This example replays a
+graph as an edge stream, keeps a :class:`DynamicEmbedder` current under a
+staleness policy, and shows (a) embeddings stay useful between refreshes and
+(b) the Procrustes alignment keeps the coordinate frame stable (small drift)
+so downstream indexes don't need rebuilding from scratch.
+
+Run:  python examples/dynamic_refresh.py
+"""
+
+from __future__ import annotations
+
+from repro import LightNEParams, dcsbm_graph
+from repro.eval import evaluate_node_classification
+from repro.streaming import DynamicEmbedder, RefreshPolicy, edge_stream_from_graph
+
+
+def main() -> None:
+    graph, labels = dcsbm_graph(800, 6, avg_degree=14, mixing=0.15, seed=21)
+    print(f"final graph: {graph}")
+
+    # Replay: start with 50% of edges, stream the rest in 8 batches with a
+    # little churn (deletions) mixed in.
+    initial, batches = edge_stream_from_graph(
+        graph, initial_fraction=0.5, batches=8, churn=0.05, seed=0
+    )
+    print(f"initial graph: {initial}\n")
+
+    embedder = DynamicEmbedder(
+        initial,
+        LightNEParams(dimension=32, window=5, sample_multiplier=3),
+        policy=RefreshPolicy(max_pending_fraction=0.08),
+        seed=0,
+    )
+
+    def quality() -> float:
+        score = evaluate_node_classification(
+            embedder.vectors, labels, 0.1, repeats=2, seed=1
+        )
+        return 100 * score.micro_f1
+
+    print(f"{'batch':>5} {'edges':>7} {'pending':>8} {'refreshed':>9} "
+          f"{'drift':>7} {'micro-F1':>9}")
+    print(f"{'init':>5} {embedder.graph.num_edges:>7} {0:>8} {'-':>9} "
+          f"{'-':>7} {quality():>9.2f}")
+
+    for i, batch in enumerate(batches):
+        refreshed = embedder.apply(batch)
+        drift = f"{embedder.drift_history[-1]:.3f}" if refreshed else "-"
+        print(
+            f"{i:>5} {embedder.graph.num_edges:>7} "
+            f"{embedder.pending_updates:>8} {str(refreshed):>9} {drift:>7} "
+            f"{quality():>9.2f}"
+        )
+
+    print(
+        f"\n{embedder.refresh_count} refreshes over 8 batches; each refresh "
+        "is rotated onto the previous frame (orthogonal Procrustes), keeping "
+        "drift well below the ~1.4 of independent random frames so consumers "
+        "see a stable embedding space."
+    )
+
+
+if __name__ == "__main__":
+    main()

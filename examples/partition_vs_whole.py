@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Partition-then-embed vs whole-graph embedding (the paper's opening shot).
+
+The introduction motivates LightNE with the industry workaround it removes:
+Alibaba partitions a 600B-node graph into 12,000 subgraphs and embeds each
+separately, because no single-machine system could handle the whole graph.
+The price is every cross-partition edge.  This example quantifies that
+price: the same LightNE embedder run (a) on the whole graph and (b) per
+part after BFS partitioning into 2/4/8 parts, scoring node classification
+and the edge cut.
+
+Run:  python examples/partition_vs_whole.py
+"""
+
+from __future__ import annotations
+
+from repro import LightNEParams, dcsbm_graph, lightne_embedding
+from repro.eval import evaluate_node_classification
+from repro.graph.partition import bfs_partition, embed_partitioned
+
+
+def embedder(subgraph, seed):
+    dim = min(32, subgraph.num_vertices)
+    return lightne_embedding(
+        subgraph,
+        LightNEParams(dimension=dim, window=5, sample_multiplier=3),
+        seed,
+    )
+
+
+def f1(vectors, labels) -> float:
+    score = evaluate_node_classification(vectors, labels, 0.1, repeats=3, seed=1)
+    return 100 * score.micro_f1
+
+
+def main() -> None:
+    graph, labels = dcsbm_graph(
+        1_200, 10, avg_degree=14, mixing=0.25, labels_per_node=2, seed=31
+    )
+    print(f"graph: {graph}\n")
+
+    whole = embedder(graph, 0)
+    print(f"{'setup':<14} {'edge cut':>9} {'micro-F1 @10%':>14}")
+    print("-" * 40)
+    print(f"{'whole graph':<14} {'0.0%':>9} {f1(whole.vectors, labels):>14.2f}")
+
+    for parts in (2, 4, 8):
+        assignment = bfs_partition(graph, parts, seed=0)
+        result = embed_partitioned(
+            graph, assignment, embedder, dimension=32, seed=0
+        )
+        cut = result.info["edge_cut"]
+        print(
+            f"{f'{parts} parts':<14} {cut:>8.1%} "
+            f"{f1(result.vectors, labels):>14.2f}"
+        )
+
+    print(
+        "\nEvery severed edge is structure the per-part embedders never see; "
+        "quality decays as the cut grows. LightNE's pitch is handling the "
+        "whole graph on one machine so the partition (and its cut) is "
+        "unnecessary."
+    )
+
+
+if __name__ == "__main__":
+    main()

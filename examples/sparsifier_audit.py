@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Audit the theory behind LightNE's downsampling (paper §3.2) numerically.
+
+Three checks on a real (small) graph, using `repro.analysis`:
+
+1. **Theorem 3.2 (Lovász)** — the degree bound really brackets the exact
+   effective resistance on every edge, and how tight the bracket is depends
+   on the spectral gap;
+2. **Theorem 3.1 (unbiasedness)** — averaged downsampled graphs converge to
+   the original Laplacian (quadratic forms → 1);
+3. **ε-sparsification** — the empirical spectral-approximation factor of a
+   single downsampled draw vs an average of draws.
+
+Run:  python examples/sparsifier_audit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.analysis import (
+    effective_resistances,
+    lovasz_resistance_bounds,
+    spectral_approximation_factor,
+)
+from repro.graph.generators import dcsbm_graph
+from repro.graph.stats import spectral_gap
+from repro.sparsifier.downsampling import (
+    downsample_graph_laplacian_sample,
+    expected_kept_edges,
+)
+
+
+def sampled_laplacian(graph, rng, repeats):
+    n = graph.num_vertices
+    acc = sp.csr_matrix((n, n))
+    for _ in range(repeats):
+        s, d, w = downsample_graph_laplacian_sample(graph, rng)
+        rows = np.concatenate([s, d, s, d])
+        cols = np.concatenate([d, s, s, d])
+        vals = np.concatenate([-w, -w, w, w])
+        acc = acc + sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    return acc / repeats
+
+
+def main() -> None:
+    graph, _ = dcsbm_graph(200, 4, avg_degree=16, mixing=0.25, seed=8)
+    gap = spectral_gap(graph)
+    print(f"graph: {graph}, spectral gap 1-λ2 = {gap:.3f}")
+    print(f"(the paper quotes BlogCatalog's gap ≈ 0.43 to argue degree "
+          "sampling suffices)\n")
+
+    # --- Theorem 3.2 -----------------------------------------------------
+    src, dst = graph.edge_endpoints()
+    mask = src < dst
+    src, dst = src[mask][:400], dst[mask][:400]
+    exact = effective_resistances(graph, src, dst)
+    lower, upper = lovasz_resistance_bounds(graph, src, dst)
+    print("Theorem 3.2 check on", src.size, "edges:")
+    print(f"  lower bound violated: {(exact < lower - 1e-9).sum()} times")
+    print(f"  upper bound violated: {(exact > upper + 1e-9).sum()} times")
+    print(f"  median tightness upper/exact: {np.median(upper / exact):.2f}x\n")
+
+    # --- Theorem 3.1 + ε -------------------------------------------------
+    rng = np.random.default_rng(0)
+    kept = expected_kept_edges(graph)
+    print(f"downsampling keeps E[{kept:.0f}] of {graph.num_edges} edges "
+          f"({kept / graph.num_edges:.1%})")
+    for repeats in (1, 4, 16):
+        lap = sampled_laplacian(graph, rng, repeats)
+        eps = spectral_approximation_factor(graph, lap, seed=1)
+        print(f"  ε-spectral factor of mean of {repeats:>2} draw(s): {eps:.3f}")
+    print(
+        "\nε shrinking with averaging is Theorem 3.1 in action: each draw is "
+        "unbiased, so the mean converges to the exact Laplacian; a single "
+        "draw is already a bounded-distortion sparsifier, which is all the "
+        "embedding pipeline needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Spectral-sparsification analysis tools (the theory behind §3.2).
+
+Quantifies how well a sparsifier approximates the original graph: exact
+effective resistances (Thm 3.2's quantity), Laplacian quadratic-form ratios
+(the ε in "ε-spectral approximation"), and the degree-bound check of
+Lovász's inequality.  Used by the property tests and available to users who
+want to audit their own sparsifier quality.
+"""
+
+from repro.analysis.spectral import (
+    effective_resistances,
+    exact_resistance_probabilities,
+    laplacian_matrix,
+    lovasz_resistance_bounds,
+    quadratic_form_ratio,
+    spectral_approximation_factor,
+)
+
+__all__ = [
+    "effective_resistances",
+    "exact_resistance_probabilities",
+    "laplacian_matrix",
+    "lovasz_resistance_bounds",
+    "quadratic_form_ratio",
+    "spectral_approximation_factor",
+]

@@ -1,0 +1,335 @@
+"""Command-line interface: ``lightne`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``embed``
+    Embed an edge-list file (or a registered synthetic dataset) with any of
+    the implemented methods and save the vectors as ``.npy``.
+``info``
+    Print dataset-statistics rows (Table 3 style) for a graph file or a
+    registered dataset.
+``eval-nc`` / ``eval-lp``
+    Run the node-classification / link-prediction protocols on saved
+    embeddings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets import dataset_names, load_dataset
+from repro.embedding import (
+    DeepWalkSGDParams,
+    GraRepParams,
+    HOPEParams,
+    LightNEParams,
+    NRPParams,
+    NetSMFParams,
+    Node2VecParams,
+    PBGParams,
+    ProNEParams,
+    deepwalk_sgd_embedding,
+    grarep_embedding,
+    hope_embedding,
+    lightne_embedding,
+    line_embedding,
+    netmf_embedding,
+    netsmf_embedding,
+    node2vec_embedding,
+    nrp_embedding,
+    pbg_embedding,
+    prone_embedding,
+)
+from repro.eval import (
+    evaluate_link_prediction,
+    evaluate_node_classification,
+    train_test_split_edges,
+)
+from repro.graph import graph_io
+from repro.graph.stats import summarize
+
+METHODS = (
+    "lightne",
+    "netsmf",
+    "prone",
+    "netmf",
+    "netmf-eigen",
+    "line",
+    "deepwalk",
+    "node2vec",
+    "pbg",
+    "nrp",
+    "grarep",
+    "hope",
+)
+
+
+_READERS = {
+    "edgelist": graph_io.read_edge_list,
+    "metis": graph_io.read_metis,
+    "adjacency": graph_io.read_adjacency_list,
+    "csr": graph_io.load_csr,
+}
+
+
+def _detect_format(path: str) -> str:
+    """Pick a reader from the file extension (``--format`` overrides)."""
+    lowered = path.lower()
+    if lowered.endswith(".npz"):
+        return "csr"
+    if lowered.endswith((".metis", ".graph")):
+        return "metis"
+    if lowered.endswith(".adj"):
+        return "adjacency"
+    return "edgelist"
+
+
+def _load_graph(args: argparse.Namespace):
+    """Resolve ``--input`` (file) or ``--dataset`` (registry) to a graph."""
+    if args.dataset:
+        bundle = load_dataset(args.dataset, seed=args.seed)
+        return bundle.graph, bundle.labels
+    if args.input:
+        fmt = getattr(args, "format", None) or _detect_format(args.input)
+        return _READERS[fmt](args.input), None
+    raise SystemExit("one of --input or --dataset is required")
+
+
+def _embed(graph, method: str, dimension: int, window: int, seed: int):
+    """Dispatch to the requested embedding method."""
+    if method == "lightne":
+        return lightne_embedding(
+            graph, LightNEParams(dimension=dimension, window=window), seed
+        )
+    if method == "netsmf":
+        return netsmf_embedding(
+            graph, NetSMFParams(dimension=dimension, window=window), seed
+        )
+    if method == "prone":
+        return prone_embedding(graph, ProNEParams(dimension=dimension), seed)
+    if method == "netmf":
+        return netmf_embedding(graph, dimension, window=window, seed=seed)
+    if method == "netmf-eigen":
+        return netmf_embedding(
+            graph, dimension, window=window, strategy="eigen", seed=seed
+        )
+    if method == "line":
+        return line_embedding(graph, dimension, seed=seed)
+    if method == "deepwalk":
+        return deepwalk_sgd_embedding(
+            graph, DeepWalkSGDParams(dimension=dimension), seed
+        )
+    if method == "node2vec":
+        return node2vec_embedding(graph, Node2VecParams(dimension=dimension), seed)
+    if method == "pbg":
+        return pbg_embedding(graph, PBGParams(dimension=dimension), seed)
+    if method == "nrp":
+        return nrp_embedding(graph, NRPParams(dimension=dimension), seed)
+    if method == "grarep":
+        return grarep_embedding(graph, GraRepParams(dimension=dimension), seed)
+    if method == "hope":
+        return hope_embedding(graph, HOPEParams(dimension=dimension), seed)
+    raise SystemExit(f"unknown method {method!r}")
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    graph, _ = _load_graph(args)
+    start = time.perf_counter()
+    result = _embed(graph, args.method, args.dim, args.window, args.seed)
+    elapsed = time.perf_counter() - start
+    np.save(args.output, result.vectors)
+    print(f"method={result.method} n={graph.num_vertices} m={graph.num_edges}")
+    print(result.timer.format())
+    print(f"wall-clock {elapsed:.2f} s -> {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph, labels = _load_graph(args)
+    summary = summarize(graph).as_dict()
+    for key, value in summary.items():
+        print(f"{key:>10}: {value}")
+    if labels is not None:
+        print(f"{'labels':>10}: {labels.shape[1]} classes")
+    return 0
+
+
+def _cmd_eval_nc(args: argparse.Namespace) -> int:
+    _, labels = _load_graph(args)
+    if labels is None:
+        raise SystemExit("node classification needs a labeled dataset")
+    vectors = np.load(args.embeddings)
+    result = evaluate_node_classification(
+        vectors, labels, args.train_ratio, repeats=args.repeats, seed=args.seed
+    )
+    print(
+        f"ratio={result.train_ratio:.3f} "
+        f"micro={100 * result.micro_f1:.2f} macro={100 * result.macro_f1:.2f}"
+    )
+    return 0
+
+
+def _cmd_eval_lp(args: argparse.Namespace) -> int:
+    graph, _ = _load_graph(args)
+    train, pos_u, pos_v = train_test_split_edges(
+        graph, args.test_fraction, seed=args.seed
+    )
+    result = _embed(train, args.method, args.dim, args.window, args.seed)
+    metrics = evaluate_link_prediction(
+        result.vectors, pos_u, pos_v, num_negatives=args.negatives, seed=args.seed
+    )
+    for key, value in metrics.as_row().items():
+        print(f"{key:>8}: {value}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a graph as an edge stream with a dynamic embedder (§6 demo)."""
+    from repro.embedding import LightNEParams
+    from repro.streaming import DynamicEmbedder, RefreshPolicy, edge_stream_from_graph
+
+    graph, _ = _load_graph(args)
+    initial, batches = edge_stream_from_graph(
+        graph,
+        initial_fraction=args.initial_fraction,
+        batches=args.batches,
+        churn=args.churn,
+        seed=args.seed,
+    )
+    embedder = DynamicEmbedder(
+        initial,
+        LightNEParams(dimension=args.dim, window=args.window,
+                      sample_multiplier=args.multiplier),
+        policy=RefreshPolicy(max_pending_fraction=args.refresh_fraction),
+        seed=args.seed,
+    )
+    print(f"initial: {initial.num_edges} edges; streaming {args.batches} batches")
+    for i, batch in enumerate(batches):
+        refreshed = embedder.apply(batch)
+        status = "refreshed" if refreshed else "buffered"
+        print(
+            f"batch {i}: +{batch.num_additions}/-{batch.num_removals} "
+            f"-> {embedder.graph.num_edges} edges, {status} "
+            f"(pending={embedder.pending_updates})"
+        )
+    np.save(args.output, embedder.vectors)
+    print(
+        f"{embedder.refresh_count} refreshes; final embedding "
+        f"{embedder.vectors.shape} -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Method comparison table via the experiments runner."""
+    from repro.experiments import format_table, run_method_comparison
+
+    if not args.dataset:
+        raise SystemExit("compare requires --dataset (needs labels)")
+    rows = run_method_comparison(
+        args.dataset,
+        args.methods.split(","),
+        ratios=tuple(float(r) for r in args.ratios.split(",")),
+        dimension=args.dim,
+        window=args.window,
+        multiplier=args.multiplier,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="lightne", description="LightNE reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--input", help="graph file (edge list / METIS / .adj / .npz)")
+        p.add_argument(
+            "--format", choices=sorted(_READERS),
+            help="input format (default: by file extension)",
+        )
+        p.add_argument(
+            "--dataset", choices=dataset_names(), help="registered synthetic dataset"
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    p_embed = sub.add_parser("embed", help="compute an embedding")
+    add_common(p_embed)
+    p_embed.add_argument("--method", choices=METHODS, default="lightne")
+    p_embed.add_argument("--dim", type=int, default=128)
+    p_embed.add_argument("--window", type=int, default=10)
+    p_embed.add_argument("--output", default="embedding.npy")
+    p_embed.set_defaults(func=_cmd_embed)
+
+    p_info = sub.add_parser("info", help="print graph statistics")
+    add_common(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_nc = sub.add_parser("eval-nc", help="node-classification evaluation")
+    add_common(p_nc)
+    p_nc.add_argument("--embeddings", required=True, help=".npy vectors")
+    p_nc.add_argument("--train-ratio", type=float, default=0.1)
+    p_nc.add_argument("--repeats", type=int, default=3)
+    p_nc.set_defaults(func=_cmd_eval_nc)
+
+    p_lp = sub.add_parser("eval-lp", help="link-prediction evaluation")
+    add_common(p_lp)
+    p_lp.add_argument("--method", choices=METHODS, default="lightne")
+    p_lp.add_argument("--dim", type=int, default=64)
+    p_lp.add_argument("--window", type=int, default=5)
+    p_lp.add_argument("--test-fraction", type=float, default=0.05)
+    p_lp.add_argument("--negatives", type=int, default=100)
+    p_lp.set_defaults(func=_cmd_eval_lp)
+
+    p_stream = sub.add_parser(
+        "stream", help="dynamic embedding demo over a replayed edge stream"
+    )
+    add_common(p_stream)
+    p_stream.add_argument("--dim", type=int, default=32)
+    p_stream.add_argument("--window", type=int, default=5)
+    p_stream.add_argument("--multiplier", type=float, default=2.0)
+    p_stream.add_argument("--batches", type=int, default=5)
+    p_stream.add_argument("--initial-fraction", type=float, default=0.5)
+    p_stream.add_argument("--churn", type=float, default=0.0)
+    p_stream.add_argument("--refresh-fraction", type=float, default=0.05)
+    p_stream.add_argument("--output", default="stream_embedding.npy")
+    p_stream.set_defaults(func=_cmd_stream)
+
+    p_cmp = sub.add_parser(
+        "compare", help="side-by-side method comparison on a labeled dataset"
+    )
+    add_common(p_cmp)
+    p_cmp.add_argument(
+        "--methods", default="prone+,lightne",
+        help="comma-separated subset of: lightne,netsmf,prone+,line,nrp,"
+             "graphvite,pbg",
+    )
+    p_cmp.add_argument("--ratios", default="0.1", help="comma-separated")
+    p_cmp.add_argument("--dim", type=int, default=32)
+    p_cmp.add_argument("--window", type=int, default=5)
+    p_cmp.add_argument("--multiplier", type=float, default=1.0)
+    p_cmp.add_argument("--repeats", type=int, default=2)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

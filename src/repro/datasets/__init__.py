@@ -1,0 +1,17 @@
+"""Dataset registry: scaled-down synthetic analogs of the paper's Table 3."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    LabeledGraph,
+    dataset_names,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "LabeledGraph",
+    "dataset_names",
+    "load_dataset",
+]

@@ -1,0 +1,183 @@
+"""Synthetic analogs of the paper's nine datasets (Table 3).
+
+The originals range from BlogCatalog (10k vertices) to Hyperlink2014
+(1.7B vertices, 124B edges) — unavailable or unusable at laptop scale.  Each
+registry entry generates a degree-corrected SBM (labeled, for the node
+classification tasks) or an R-MAT graph (unlabeled, for the link-prediction
+web crawls), with vertex counts shrunk to run in seconds while preserving:
+
+* the *relative* size ordering (small ≪ large ≪ very large);
+* density (mean degree) ratios roughly matching the original graphs;
+* multi-label community structure where the task requires it;
+* power-law degree distributions throughout.
+
+Scale factors are documented per entry and re-printed by benchmark E10
+(Table 3 reproduction).  Generation is deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import dcsbm_graph, rmat_graph
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class LabeledGraph:
+    """A graph plus (optional) multi-label node annotations."""
+
+    name: str
+    graph: CSRGraph
+    labels: Optional[np.ndarray]  # (n, L) boolean, or None
+
+    @property
+    def has_labels(self) -> bool:
+        """True for classification datasets."""
+        return self.labels is not None
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: generator plus provenance metadata.
+
+    ``original_vertices`` / ``original_edges`` record the real dataset's size
+    from Table 3 of the paper, so scale factors can be reported.
+    """
+
+    name: str
+    group: str  # "small" | "large" | "very_large"
+    original_vertices: int
+    original_edges: int
+    task: str  # "classification" | "link_prediction"
+    builder: Callable[[SeedLike], Tuple[CSRGraph, Optional[np.ndarray]]]
+
+    def load(self, seed: SeedLike = 0) -> LabeledGraph:
+        """Generate the synthetic analog."""
+        graph, labels = self.builder(seed)
+        return LabeledGraph(name=self.name, graph=graph, labels=labels)
+
+    def scale_factor(self, generated_vertices: int) -> float:
+        """How many times smaller than the original this analog is."""
+        return self.original_vertices / max(1, generated_vertices)
+
+
+def _classification(n, communities, degree, mixing, labels_per_node=2):
+    def build(seed: SeedLike):
+        graph, labels = dcsbm_graph(
+            n,
+            communities,
+            avg_degree=degree,
+            mixing=mixing,
+            labels_per_node=labels_per_node,
+            seed=seed,
+        )
+        return graph, labels
+
+    return build
+
+
+def _web_crawl(scale, edge_factor):
+    def build(seed: SeedLike):
+        return rmat_graph(scale, edge_factor, seed=seed), None
+
+    return build
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    # ---- small graphs (paper §5.4) ------------------------------------
+    "blogcatalog_like": DatasetSpec(
+        name="blogcatalog_like",
+        group="small",
+        original_vertices=10_312,
+        original_edges=333_983,
+        task="classification",
+        builder=_classification(600, 12, 22.0, 0.25, labels_per_node=2),
+    ),
+    "youtube_like": DatasetSpec(
+        name="youtube_like",
+        group="small",
+        original_vertices=1_138_499,
+        original_edges=2_990_443,
+        task="classification",
+        builder=_classification(2_000, 20, 6.0, 0.2, labels_per_node=2),
+    ),
+    # ---- large graphs (paper §5.2) ------------------------------------
+    "livejournal_like": DatasetSpec(
+        name="livejournal_like",
+        group="large",
+        original_vertices=4_847_571,
+        original_edges=68_993_773,
+        task="link_prediction",
+        builder=_classification(3_000, 30, 18.0, 0.1),
+    ),
+    "friendster_small_like": DatasetSpec(
+        name="friendster_small_like",
+        group="large",
+        original_vertices=7_944_949,
+        original_edges=447_219_610,
+        task="classification",
+        builder=_classification(2_500, 15, 30.0, 0.15),
+    ),
+    "hyperlink_pld_like": DatasetSpec(
+        name="hyperlink_pld_like",
+        group="large",
+        original_vertices=39_497_204,
+        original_edges=623_056_313,
+        task="link_prediction",
+        builder=_web_crawl(12, 8),
+    ),
+    "friendster_like": DatasetSpec(
+        name="friendster_like",
+        group="large",
+        original_vertices=65_608_376,
+        original_edges=1_806_067_142,
+        task="classification",
+        builder=_classification(4_000, 20, 32.0, 0.15),
+    ),
+    "oag_like": DatasetSpec(
+        name="oag_like",
+        group="large",
+        original_vertices=67_768_244,
+        original_edges=895_368_962,
+        task="classification",
+        builder=_classification(4_000, 25, 14.0, 0.2, labels_per_node=2),
+    ),
+    # ---- very large graphs (paper §5.3) --------------------------------
+    "clueweb_like": DatasetSpec(
+        name="clueweb_like",
+        group="very_large",
+        original_vertices=978_408_098,
+        original_edges=74_744_358_622,
+        task="link_prediction",
+        builder=_web_crawl(13, 12),
+    ),
+    "hyperlink2014_like": DatasetSpec(
+        name="hyperlink2014_like",
+        group="very_large",
+        original_vertices=1_724_573_718,
+        original_edges=124_141_874_032,
+        task="link_prediction",
+        builder=_web_crawl(14, 10),
+    ),
+}
+
+
+def dataset_names() -> list:
+    """Registered dataset names, Table-3 order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, seed: SeedLike = 0) -> LabeledGraph:
+    """Generate the named analog; raises :class:`DatasetError` if unknown."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        known = ", ".join(DATASETS)
+        raise DatasetError(f"unknown dataset {name!r}; choose one of: {known}") from None
+    return spec.load(seed)

@@ -1,0 +1,40 @@
+"""Embedding algorithms: LightNE, its two building blocks (NetSMF, ProNE),
+the exact NetMF reference, and the baseline systems the paper compares to."""
+
+from repro.embedding.base import EmbeddingResult
+from repro.embedding.netmf import netmf_embedding, netmf_matrix_dense
+from repro.embedding.netsmf import NetSMFParams, netsmf_embedding
+from repro.embedding.prone import ProNEParams, prone_embedding
+from repro.embedding.lightne import LightNEParams, lightne_embedding
+from repro.embedding.line import line_embedding
+from repro.embedding.deepwalk import DeepWalkSGDParams, deepwalk_sgd_embedding
+from repro.embedding.pbg import PBGParams, pbg_embedding
+from repro.embedding.nrp import NRPParams, nrp_embedding
+from repro.embedding.node2vec import Node2VecParams, node2vec_embedding
+from repro.embedding.grarep import GraRepParams, grarep_embedding
+from repro.embedding.hope import HOPEParams, hope_embedding
+
+__all__ = [
+    "Node2VecParams",
+    "node2vec_embedding",
+    "GraRepParams",
+    "grarep_embedding",
+    "HOPEParams",
+    "hope_embedding",
+    "EmbeddingResult",
+    "netmf_embedding",
+    "netmf_matrix_dense",
+    "NetSMFParams",
+    "netsmf_embedding",
+    "ProNEParams",
+    "prone_embedding",
+    "LightNEParams",
+    "lightne_embedding",
+    "line_embedding",
+    "DeepWalkSGDParams",
+    "deepwalk_sgd_embedding",
+    "PBGParams",
+    "pbg_embedding",
+    "NRPParams",
+    "nrp_embedding",
+]

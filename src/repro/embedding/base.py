@@ -1,0 +1,72 @@
+"""Common result container and helpers shared by every embedding method."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import FactorizationError
+from repro.utils.timer import StageTimer
+
+
+@dataclass
+class EmbeddingResult:
+    """An embedding plus provenance.
+
+    Attributes
+    ----------
+    vectors:
+        Dense ``(n, d)`` embedding matrix ``X`` (row ``u`` embeds vertex
+        ``u``).
+    method:
+        Human-readable method name (``"lightne"``, ``"netsmf"``, ...).
+    timer:
+        Stage-level wall-clock breakdown (Table 5 rows).
+    info:
+        Method-specific diagnostics (sample counts, sparsifier nnz, ...).
+    """
+
+    vectors: np.ndarray
+    method: str
+    timer: StageTimer = field(default_factory=StageTimer)
+    info: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of embedded vertices."""
+        return self.vectors.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Embedding dimension ``d``."""
+        return self.vectors.shape[1]
+
+    @property
+    def total_seconds(self) -> float:
+        """Total recorded wall-clock time."""
+        return self.timer.total
+
+    def normalized(self) -> np.ndarray:
+        """Row-L2-normalized copy of the vectors (cosine-similarity ready)."""
+        norms = np.linalg.norm(self.vectors, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return self.vectors / norms
+
+
+def validate_dimension(num_vertices: int, dimension: int) -> None:
+    """Shared sanity check for the requested embedding dimension."""
+    if dimension < 1:
+        raise FactorizationError(f"dimension must be >= 1, got {dimension}")
+    if dimension > num_vertices:
+        raise FactorizationError(
+            f"dimension {dimension} exceeds vertex count {num_vertices}"
+        )
+
+
+def score_edges(
+    vectors: np.ndarray, sources: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Dot-product edge scores — the ranking function used by the evaluators."""
+    return np.einsum("ij,ij->i", vectors[sources], vectors[targets])

@@ -1,0 +1,204 @@
+"""LightNE — the paper's system (Sections 3.2 and 4).
+
+Pipeline (Figure 1):
+
+1. **Parallel sparsifier construction** — downsampled per-edge PathSampling
+   (Algorithm 2) aggregated by the sparse parallel hash table;
+2. **Parallel randomized SVD** (Algorithm 3) of the trunc-log NetMF matrix
+   estimator, ``X = U Σ^{1/2}``;
+3. **Spectral propagation** — ProNE's Chebyshev filter on ``X``.
+
+Stage wall-clock is recorded under the Table-5 names
+(``sparsifier`` / ``svd`` / ``propagation``).  The paper's named
+configurations are exposed as constructors:
+``LightNEParams.small(T)`` (M = 0.1·T·m) and ``LightNEParams.large(T)``
+(M = 20·T·m).  For very large graphs the paper sets ``T=2, d=32`` and skips
+propagation — pass ``propagate=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.graph.compression import CompressedGraph
+from repro.graph.csr import CSRGraph
+from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
+from repro.linalg.spectral import spectral_propagation
+from repro.sparsifier.builder import (
+    build_netmf_sparsifier,
+    sparsifier_to_netmf_matrix,
+)
+from repro.sparsifier.path_sampling import PathSamplingConfig
+from repro.utils.log import get_logger
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.timer import StageTimer
+
+GraphLike = Union[CSRGraph, CompressedGraph]
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class LightNEParams:
+    """LightNE hyper-parameters.
+
+    Attributes
+    ----------
+    dimension:
+        Embedding dimension ``d`` (paper: 128 for most graphs, 32 for the
+        100-billion-edge ones).
+    window:
+        Context window ``T``; the paper cross-validates 1/5/10 by task.
+    sample_multiplier:
+        ``M = multiplier · T · m`` — 0.1 for LightNE-Small, 20 for
+        LightNE-Large in the OAG study.
+    negative_samples:
+        The ``b`` of Eq. (1).
+    downsample:
+        The degree-based downsampling coin (the paper's new contribution;
+        turn off only for ablations).
+    downsample_constant:
+        The ``C`` in ``p_e = min(1, C·A_uv(1/d_u + 1/d_v))``; ``None`` means
+        ``log n``.
+    propagate / propagation_order / mu / theta:
+        Spectral-propagation controls (step 2).
+    aggregator:
+        ``"hash"`` (sparse parallel hashing, the paper's choice) or
+        ``"sort"``.
+    """
+
+    dimension: int = 128
+    window: int = 10
+    sample_multiplier: float = 1.0
+    negative_samples: float = 1.0
+    downsample: bool = True
+    downsample_constant: Optional[float] = None
+    propagate: bool = True
+    propagation_order: int = 10
+    mu: float = 0.2
+    theta: float = 0.5
+    aggregator: str = "hash"
+
+    @staticmethod
+    def small(window: int = 10, dimension: int = 128) -> "LightNEParams":
+        """LightNE-Small: fewest samples, ``M = 0.1·T·m`` (paper §5.2.3)."""
+        return LightNEParams(
+            dimension=dimension, window=window, sample_multiplier=0.1
+        )
+
+    @staticmethod
+    def large(window: int = 10, dimension: int = 128) -> "LightNEParams":
+        """LightNE-Large: most samples, ``M = 20·T·m`` (paper §5.2.3)."""
+        return LightNEParams(
+            dimension=dimension, window=window, sample_multiplier=20.0
+        )
+
+    @staticmethod
+    def very_large(dimension: int = 32) -> "LightNEParams":
+        """The very-large-graph setting: T=2, d=32, no propagation (§5.3)."""
+        return LightNEParams(
+            dimension=dimension, window=2, sample_multiplier=1.0, propagate=False
+        )
+
+    def with_multiplier(self, multiplier: float) -> "LightNEParams":
+        """Copy with a different sample multiplier (Figure 2 sweeps)."""
+        return replace(self, sample_multiplier=multiplier)
+
+
+def lightne_embedding(
+    graph: GraphLike,
+    params: LightNEParams = LightNEParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Run the full LightNE pipeline on ``graph``.
+
+    Returns an :class:`EmbeddingResult` whose ``timer`` holds the Table-5
+    stage breakdown and whose ``info`` records sampling statistics
+    (draw count, sparsifier nnz, downsampling state).
+    """
+    validate_dimension(graph.num_vertices, params.dimension)
+    rng = ensure_rng(seed)
+    timer = StageTimer()
+    config = PathSamplingConfig(
+        window=params.window,
+        num_samples=PathSamplingConfig.samples_for_multiplier(
+            graph, params.window, params.sample_multiplier
+        ),
+        downsample=params.downsample,
+        downsample_constant=params.downsample_constant,
+    )
+    logger.debug(
+        "lightne: n=%d m=%d T=%d M=%d downsample=%s",
+        graph.num_vertices, graph.num_edges, config.window,
+        config.num_samples, config.downsample,
+    )
+    sparsifier = build_netmf_sparsifier(
+        graph, config, rng, aggregator=params.aggregator, timer=timer
+    )
+    logger.debug(
+        "lightne: sparsifier nnz=%d from %d draws (%.1f%% of draws kept "
+        "distinct)", sparsifier.nnz, sparsifier.num_draws,
+        100.0 * sparsifier.nnz / max(1, sparsifier.num_draws),
+    )
+    with timer.stage("svd"):
+        matrix = sparsifier_to_netmf_matrix(
+            graph, sparsifier, negative_samples=params.negative_samples
+        )
+        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=rng)
+        vectors = embedding_from_svd(u, sigma)
+    if params.propagate:
+        with timer.stage("propagation"):
+            vectors = spectral_propagation(
+                graph,
+                vectors,
+                order=params.propagation_order,
+                mu=params.mu,
+                theta=params.theta,
+            )
+    logger.debug(
+        "lightne: done in %.3fs (%s)", timer.total,
+        ", ".join(f"{k}={v:.3f}s" for k, v in timer.as_rows()),
+    )
+    return EmbeddingResult(
+        vectors=vectors,
+        method="lightne",
+        timer=timer,
+        info={
+            "window": params.window,
+            "sample_multiplier": params.sample_multiplier,
+            "num_draws": sparsifier.num_draws,
+            "sparsifier_nnz": sparsifier.nnz,
+            "downsample": params.downsample,
+            "propagated": params.propagate,
+        },
+    )
+
+
+def refresh_embedding(
+    graph: GraphLike,
+    previous: EmbeddingResult,
+    params: LightNEParams = LightNEParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Warm-restart re-embedding sketch (paper §6 future work: dynamic graphs).
+
+    Re-runs the sparsifier + SVD on the updated ``graph`` and aligns the new
+    embedding to ``previous`` by an orthogonal Procrustes rotation over the
+    common vertex prefix, so downstream consumers see a stable coordinate
+    frame across refreshes.
+    """
+    import numpy as np
+
+    result = lightne_embedding(graph, params, seed)
+    shared = min(previous.num_vertices, result.num_vertices)
+    if shared == 0 or previous.dimension != result.dimension:
+        return result
+    # Procrustes: rotate new -> old over the shared prefix.
+    m = result.vectors[:shared].T @ previous.vectors[:shared]
+    u, _, vt = np.linalg.svd(m)
+    rotation = u @ vt
+    result.vectors = result.vectors @ rotation
+    result.info["aligned_to_previous"] = True
+    return result

@@ -1,0 +1,164 @@
+r"""Exact (dense) NetMF — the reference the sparsified pipeline approximates.
+
+NetMF [23] factorizes (paper Eq. 1)
+
+    M = trunc_log( vol(G)/(bT) · Σ_{r=1}^{T} (D⁻¹A)^r D⁻¹ )
+
+and embeds with the top-``d`` SVD, ``X = U_d Σ_d^{1/2}``.  Constructing ``M``
+densifies at ``O(n²)`` memory, which is exactly the bottleneck motivating
+NetSMF/LightNE — so this implementation is for small graphs and as a test
+oracle for the sparsifier's estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.errors import FactorizationError
+from repro.graph.compression import CompressedGraph
+from repro.graph.csr import CSRGraph
+from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
+from repro.utils.rng import SeedLike
+from repro.utils.timer import StageTimer
+
+GraphLike = Union[CSRGraph, CompressedGraph]
+
+DENSE_LIMIT = 20_000
+
+
+def netmf_matrix_dense(
+    graph: GraphLike, window: int = 10, negative_samples: float = 1.0
+) -> np.ndarray:
+    """Materialize Eq. (1) densely (small graphs only).
+
+    Raises
+    ------
+    FactorizationError
+        When the graph exceeds ``DENSE_LIMIT`` vertices (the memory wall the
+        paper describes) or parameters are invalid.
+    """
+    if window < 1:
+        raise FactorizationError(f"window T must be >= 1, got {window}")
+    if negative_samples <= 0:
+        raise FactorizationError(
+            f"negative_samples must be > 0, got {negative_samples}"
+        )
+    n = graph.num_vertices
+    if n > DENSE_LIMIT:
+        raise FactorizationError(
+            f"dense NetMF limited to {DENSE_LIMIT} vertices; use NetSMF/LightNE"
+        )
+    if isinstance(graph, CompressedGraph):
+        graph = graph.decompress()
+    adjacency = graph.adjacency().toarray()
+    degrees = graph.weighted_degrees()
+    safe = np.where(degrees > 0, degrees, 1.0)
+    walk = adjacency / safe[:, None]  # D⁻¹A
+    power = np.eye(n)
+    accum = np.zeros((n, n))
+    for _ in range(window):
+        power = power @ walk
+        accum += power
+    matrix = (graph.volume / (negative_samples * window)) * (accum / safe[None, :])
+    return np.maximum(0.0, np.log(np.maximum(matrix, 1e-300)))
+
+
+def netmf_matrix_eigen(
+    graph: GraphLike,
+    window: int = 10,
+    negative_samples: float = 1.0,
+    *,
+    rank: int = 256,
+) -> np.ndarray:
+    """NetMF-large's approximation of Eq. (1) via truncated eigenpairs.
+
+    Uses the identity ``(D⁻¹A)^r D⁻¹ = D^{-1/2} Â^r D^{-1/2}`` with
+    ``Â = D^{-1/2} A D^{-1/2}``: take the top-``rank`` eigenpairs of ``Â``,
+    filter the eigenvalues through the window polynomial
+    ``f(λ) = (1/T) Σ_{r=1..T} λ^r`` (clipped at 0, as NetMF does), and
+    reassemble before the entry-wise trunc-log.  Time drops from
+    ``O(T·n³)`` to ``O(n²·rank)``; memory is still ``O(n²)`` because the
+    log requires the dense entries — exactly the wall NetSMF removes.
+    """
+    if window < 1:
+        raise FactorizationError(f"window T must be >= 1, got {window}")
+    if negative_samples <= 0:
+        raise FactorizationError(
+            f"negative_samples must be > 0, got {negative_samples}"
+        )
+    n = graph.num_vertices
+    if n > DENSE_LIMIT:
+        raise FactorizationError(
+            f"NetMF-large still materializes n x n; limited to {DENSE_LIMIT}"
+        )
+    if isinstance(graph, CompressedGraph):
+        graph = graph.decompress()
+    rank = min(rank, n - 1)
+    if rank < 1:
+        raise FactorizationError("graph too small for eigen approximation")
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    adjacency = graph.adjacency()
+    degrees = graph.weighted_degrees()
+    safe = np.where(degrees > 0, degrees, 1.0)
+    inv_sqrt = sp.diags(safe**-0.5)
+    a_hat = (inv_sqrt @ adjacency @ inv_sqrt).tocsr()
+    vals, vecs = spla.eigsh(a_hat, k=rank, which="LA")
+    # Window filter with NetMF's non-negativity clip on the filtered values.
+    powers = np.zeros_like(vals)
+    term = np.ones_like(vals)
+    for _ in range(window):
+        term = term * vals
+        powers += term
+    filtered = np.maximum(powers / window, 0.0)
+    half = (inv_sqrt @ vecs) * np.sqrt(filtered)[None, :]
+    matrix = (graph.volume / negative_samples) * (half @ half.T)
+    return np.maximum(0.0, np.log(np.maximum(matrix, 1e-300)))
+
+
+def netmf_embedding(
+    graph: GraphLike,
+    dimension: int = 128,
+    *,
+    window: int = 10,
+    negative_samples: float = 1.0,
+    strategy: str = "exact",
+    eigen_rank: int = 256,
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """NetMF embedding.
+
+    ``strategy="exact"`` materializes Eq. (1) exactly (NetMF-small);
+    ``strategy="eigen"`` uses the truncated-eigenpair approximation
+    (NetMF-large) with ``eigen_rank`` pairs.
+    """
+    validate_dimension(graph.num_vertices, dimension)
+    timer = StageTimer()
+    with timer.stage("matrix"):
+        if strategy == "exact":
+            matrix = netmf_matrix_dense(graph, window, negative_samples)
+        elif strategy == "eigen":
+            matrix = netmf_matrix_eigen(
+                graph, window, negative_samples, rank=eigen_rank
+            )
+        else:
+            raise FactorizationError(
+                f"strategy must be 'exact' or 'eigen', got {strategy!r}"
+            )
+    with timer.stage("svd"):
+        u, sigma, _ = randomized_svd(matrix, dimension, seed=seed)
+        vectors = embedding_from_svd(u, sigma)
+    return EmbeddingResult(
+        vectors=vectors,
+        method="netmf",
+        timer=timer,
+        info={
+            "window": window,
+            "negative_samples": negative_samples,
+            "strategy": strategy,
+        },
+    )

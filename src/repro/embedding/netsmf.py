@@ -1,0 +1,90 @@
+"""NetSMF [22] — sparse matrix factorization via PathSampling (paper §3.1).
+
+This is the *plain* NetSMF baseline: Algorithm 2's per-edge sampling but with
+the downsampling coin disabled (every draw is kept), the sort-based
+aggregator by default (standing in for NetSMF's per-thread sparsifiers merged
+at the end), followed by randomized SVD.  LightNE differs by (a) enabling
+downsampling, (b) the shared hash table, and (c) adding spectral propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.graph.compression import CompressedGraph
+from repro.graph.csr import CSRGraph
+from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
+from repro.sparsifier.builder import (
+    build_netmf_sparsifier,
+    sparsifier_to_netmf_matrix,
+)
+from repro.sparsifier.path_sampling import PathSamplingConfig
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.timer import StageTimer
+
+GraphLike = Union[CSRGraph, CompressedGraph]
+
+
+@dataclass(frozen=True)
+class NetSMFParams:
+    """NetSMF hyper-parameters.
+
+    Attributes
+    ----------
+    dimension:
+        Embedding dimension ``d``.
+    window:
+        Context window ``T`` (paper default 10).
+    sample_multiplier:
+        ``M = multiplier · T · m`` (the paper sweeps 1–8 for NetSMF).
+    negative_samples:
+        The ``b`` of Eq. (1).
+    aggregator:
+        ``"sort"`` mimics NetSMF's merge-at-end; ``"hash"`` available too.
+    """
+
+    dimension: int = 128
+    window: int = 10
+    sample_multiplier: float = 1.0
+    negative_samples: float = 1.0
+    aggregator: str = "sort"
+
+
+def netsmf_embedding(
+    graph: GraphLike,
+    params: NetSMFParams = NetSMFParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Compute a NetSMF embedding (no downsampling, no propagation)."""
+    validate_dimension(graph.num_vertices, params.dimension)
+    rng = ensure_rng(seed)
+    timer = StageTimer()
+    config = PathSamplingConfig(
+        window=params.window,
+        num_samples=PathSamplingConfig.samples_for_multiplier(
+            graph, params.window, params.sample_multiplier
+        ),
+        downsample=False,
+    )
+    result = build_netmf_sparsifier(
+        graph, config, rng, aggregator=params.aggregator, timer=timer
+    )
+    with timer.stage("svd"):
+        matrix = sparsifier_to_netmf_matrix(
+            graph, result, negative_samples=params.negative_samples
+        )
+        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=rng)
+        vectors = embedding_from_svd(u, sigma)
+    return EmbeddingResult(
+        vectors=vectors,
+        method="netsmf",
+        timer=timer,
+        info={
+            "window": params.window,
+            "num_draws": result.num_draws,
+            "sparsifier_nnz": result.nnz,
+            "sample_multiplier": params.sample_multiplier,
+        },
+    )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An on-disk or in-memory graph representation is malformed."""
+
+
+class GraphConstructionError(ReproError):
+    """Invalid arguments while building a graph (e.g. negative vertex ids)."""
+
+
+class CompressionError(ReproError):
+    """Failure while encoding or decoding a compressed adjacency list."""
+
+
+class SamplingError(ReproError):
+    """Invalid parameters for the PathSampling / downsampling stage."""
+
+
+class HashTableFullError(ReproError):
+    """The open-addressing hash table ran out of free slots."""
+
+
+class FactorizationError(ReproError):
+    """Randomized SVD or spectral propagation received invalid input."""
+
+
+class EvaluationError(ReproError):
+    """Invalid evaluation setup (e.g. empty test split, label mismatch)."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or invalid dataset parameters."""

@@ -1,0 +1,130 @@
+"""One-vs-rest L2-regularized logistic regression on numpy + L-BFGS.
+
+The evaluation protocol of the embedding literature trains an independent
+binary logistic classifier per label on the (frozen) node embeddings.  We
+implement the trainer directly on ``scipy.optimize.minimize(method="L-BFGS-B")``
+with an analytic gradient; no sklearn is available offline and none is
+needed — the problem is convex and tiny relative to the embedding step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.errors import EvaluationError
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def _fit_binary(
+    features: np.ndarray,
+    labels: np.ndarray,
+    regularization: float,
+    max_iter: int,
+) -> np.ndarray:
+    """Fit one binary classifier; returns ``(d + 1,)`` weights (bias last)."""
+    n, d = features.shape
+    y = labels.astype(np.float64) * 2.0 - 1.0  # {0,1} -> {-1,+1}
+
+    def objective(w: np.ndarray):
+        weights, bias = w[:d], w[d]
+        margins = y * (features @ weights + bias)
+        # log(1 + exp(-m)) computed stably.
+        loss = np.logaddexp(0.0, -margins).sum() + 0.5 * regularization * weights @ weights
+        p = _sigmoid(-margins)  # dloss/dmargin = -p
+        grad_margin = -p * y
+        grad_w = features.T @ grad_margin + regularization * weights
+        grad_b = grad_margin.sum()
+        return loss, np.concatenate([grad_w, [grad_b]])
+
+    result = minimize(
+        objective,
+        np.zeros(d + 1),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iter},
+    )
+    return result.x
+
+
+class LogisticRegressionOVR:
+    """One-vs-rest multi-label logistic regression.
+
+    Parameters
+    ----------
+    regularization:
+        L2 penalty on the weights (not the bias).
+    max_iter:
+        L-BFGS iteration cap per label.
+    """
+
+    def __init__(self, regularization: float = 1.0, max_iter: int = 200) -> None:
+        if regularization < 0:
+            raise EvaluationError(
+                f"regularization must be >= 0, got {regularization}"
+            )
+        self.regularization = regularization
+        self.max_iter = max_iter
+        self.weights: Optional[np.ndarray] = None  # (labels, d)
+        self.biases: Optional[np.ndarray] = None  # (labels,)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegressionOVR":
+        """Train one classifier per column of the boolean ``labels`` matrix.
+
+        Labels with a constant column (all true / all false in the training
+        split) get a degenerate classifier that scores ``±inf``-like constants.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels).astype(bool)
+        if features.ndim != 2 or labels.ndim != 2:
+            raise EvaluationError("features and labels must be 2-D")
+        if features.shape[0] != labels.shape[0]:
+            raise EvaluationError(
+                f"row mismatch: {features.shape[0]} features vs {labels.shape[0]} labels"
+            )
+        if features.shape[0] == 0:
+            raise EvaluationError("cannot fit on an empty training set")
+        num_labels = labels.shape[1]
+        d = features.shape[1]
+        self.weights = np.zeros((num_labels, d))
+        self.biases = np.zeros(num_labels)
+        for j in range(num_labels):
+            column = labels[:, j]
+            if column.all() or not column.any():
+                # Degenerate: constant score with the right sign.
+                self.biases[j] = 30.0 if column.all() else -30.0
+                continue
+            packed = _fit_binary(features, column, self.regularization, self.max_iter)
+            self.weights[j] = packed[:d]
+            self.biases[j] = packed[d]
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw per-label scores, shape ``(samples, labels)``."""
+        if self.weights is None:
+            raise EvaluationError("classifier is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return features @ self.weights.T + self.biases[None, :]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-label probabilities."""
+        return _sigmoid(self.decision_function(features))
+
+    def predict_top_k(self, features: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """The literature's protocol: for each sample, predict its ``counts[i]``
+        highest-scoring labels (the true label count is assumed known)."""
+        scores = self.decision_function(features)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (scores.shape[0],):
+            raise EvaluationError("counts must have one entry per sample")
+        predictions = np.zeros_like(scores, dtype=bool)
+        order = np.argsort(-scores, axis=1)
+        for i in range(scores.shape[0]):
+            k = min(int(counts[i]), scores.shape[1])
+            predictions[i, order[i, :k]] = True
+        return predictions

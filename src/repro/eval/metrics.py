@@ -1,0 +1,127 @@
+"""Metric implementations: Micro/Macro F1, AUC, and ranking metrics.
+
+Written from the definitions (no sklearn dependency) and unit-tested against
+hand-computed cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def _validate_binary_matrix(name: str, matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise EvaluationError(f"{name} must be 2-D (samples × labels)")
+    return matrix.astype(bool)
+
+
+def f1_scores(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[float, float]:
+    """Return ``(micro_f1, macro_f1)`` for multi-label boolean matrices.
+
+    Micro-F1 pools true/false positives over all labels; Macro-F1 averages
+    per-label F1 (labels with no true and no predicted instances contribute
+    F1 = 0, matching the convention in the NetMF evaluation scripts).
+    """
+    y_true = _validate_binary_matrix("y_true", y_true)
+    y_pred = _validate_binary_matrix("y_pred", y_pred)
+    if y_true.shape != y_pred.shape:
+        raise EvaluationError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    tp = np.logical_and(y_true, y_pred).sum(axis=0).astype(np.float64)
+    fp = np.logical_and(~y_true, y_pred).sum(axis=0).astype(np.float64)
+    fn = np.logical_and(y_true, ~y_pred).sum(axis=0).astype(np.float64)
+
+    micro_denominator = 2 * tp.sum() + fp.sum() + fn.sum()
+    micro = 2 * tp.sum() / micro_denominator if micro_denominator > 0 else 0.0
+
+    per_label_denominator = 2 * tp + fp + fn
+    with np.errstate(invalid="ignore", divide="ignore"):
+        per_label = np.where(
+            per_label_denominator > 0, 2 * tp / per_label_denominator, 0.0
+        )
+    macro = float(per_label.mean()) if per_label.size else 0.0
+    return float(micro), macro
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """ROC AUC via the Mann-Whitney U statistic (ties get half credit)."""
+    labels = np.asarray(labels).astype(bool).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != scores.shape:
+        raise EvaluationError("labels and scores must be parallel")
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise EvaluationError("AUC needs both positive and negative examples")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    # Average ranks over tied groups.
+    ranks_sorted = np.arange(1, labels.size + 1, dtype=np.float64)
+    boundaries = np.flatnonzero(np.diff(sorted_scores)) + 1
+    group_starts = np.concatenate([[0], boundaries])
+    group_ends = np.concatenate([boundaries, [labels.size]])
+    for start, end in zip(group_starts, group_ends):
+        ranks_sorted[start:end] = 0.5 * (start + 1 + end)
+    ranks[order] = ranks_sorted
+    rank_sum = ranks[labels].sum()
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def ranking_positions(
+    positive_scores: np.ndarray, negative_scores: np.ndarray
+) -> np.ndarray:
+    """Rank of each positive among its own negatives (1 = best; ties averaged).
+
+    ``negative_scores`` has shape ``(num_positives, num_negatives)``.
+    """
+    positive_scores = np.asarray(positive_scores, dtype=np.float64)
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    if negative_scores.ndim != 2 or negative_scores.shape[0] != positive_scores.size:
+        raise EvaluationError(
+            "negative_scores must be (num_positives, num_negatives)"
+        )
+    better = (negative_scores > positive_scores[:, None]).sum(axis=1)
+    ties = (negative_scores == positive_scores[:, None]).sum(axis=1)
+    return 1.0 + better + 0.5 * ties
+
+
+def mean_rank(ranks: np.ndarray) -> float:
+    """Mean rank (MR) — lower is better."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        raise EvaluationError("mean_rank of empty ranking")
+    return float(ranks.mean())
+
+
+def mean_reciprocal_rank(ranks: np.ndarray) -> float:
+    """Mean reciprocal rank (MRR) — higher is better."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        raise EvaluationError("mean_reciprocal_rank of empty ranking")
+    return float((1.0 / ranks).mean())
+
+
+def hits_at_k(ranks: np.ndarray, k: int) -> float:
+    """Fraction of positives ranked within the top ``k``."""
+    if k < 1:
+        raise EvaluationError(f"k must be >= 1, got {k}")
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        raise EvaluationError("hits_at_k of empty ranking")
+    return float((ranks <= k).mean())
+
+
+def ranking_report(ranks: np.ndarray, ks: Sequence[int] = (1, 10, 50)) -> Dict[str, float]:
+    """Convenience bundle: MR, MRR and HITS@k for each requested ``k``."""
+    report = {"MR": mean_rank(ranks), "MRR": mean_reciprocal_rank(ranks)}
+    for k in ks:
+        report[f"HITS@{k}"] = hits_at_k(ranks, k)
+    return report

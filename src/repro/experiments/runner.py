@@ -1,0 +1,271 @@
+"""Reusable experiment runners behind the paper-table benchmarks.
+
+Each runner loads a registered dataset analog (or accepts a prepared
+graph/labels pair), runs one or more embedding methods, evaluates with the
+paper's protocol, and returns plain list-of-dict rows that
+:func:`format_table` renders as aligned text — the same rows the
+``benchmarks/bench_e*.py`` files assert on and print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.datasets import LabeledGraph, load_dataset
+from repro.embedding import (
+    DeepWalkSGDParams,
+    LightNEParams,
+    NRPParams,
+    NetSMFParams,
+    PBGParams,
+    ProNEParams,
+    deepwalk_sgd_embedding,
+    lightne_embedding,
+    line_embedding,
+    netsmf_embedding,
+    nrp_embedding,
+    pbg_embedding,
+    prone_embedding,
+)
+from repro.embedding.base import EmbeddingResult
+from repro.errors import EvaluationError
+from repro.eval import (
+    evaluate_link_prediction,
+    evaluate_node_classification,
+    train_test_split_edges,
+)
+from repro.systems.cost import SYSTEM_INSTANCE, estimate_cost
+
+DEFAULT_SEED = 2021
+
+Row = Dict[str, object]
+
+
+def dispatch_method(
+    method: str,
+    graph,
+    *,
+    dimension: int = 32,
+    window: int = 5,
+    multiplier: float = 1.0,
+    propagate: bool = True,
+    downsample: bool = True,
+    seed: int = DEFAULT_SEED,
+) -> EmbeddingResult:
+    """Run one named method with the harness-level knobs.
+
+    Supported names: ``lightne``, ``netsmf``, ``prone+``, ``line``, ``nrp``,
+    ``graphvite`` (DeepWalk-SGD stand-in) and ``pbg``.
+    """
+    if method == "lightne":
+        return lightne_embedding(
+            graph,
+            LightNEParams(
+                dimension=dimension, window=window, sample_multiplier=multiplier,
+                propagate=propagate, downsample=downsample,
+            ),
+            seed,
+        )
+    if method == "netsmf":
+        return netsmf_embedding(
+            graph,
+            NetSMFParams(
+                dimension=dimension, window=window, sample_multiplier=multiplier
+            ),
+            seed,
+        )
+    if method == "prone+":
+        return prone_embedding(graph, ProNEParams(dimension=dimension), seed)
+    if method == "line":
+        return line_embedding(graph, dimension, seed=seed)
+    if method == "nrp":
+        return nrp_embedding(graph, NRPParams(dimension=dimension), seed)
+    if method == "graphvite":
+        return deepwalk_sgd_embedding(
+            graph,
+            DeepWalkSGDParams(
+                dimension=dimension, walk_length=20, walks_per_vertex=10, epochs=2
+            ),
+            seed,
+        )
+    if method == "pbg":
+        return pbg_embedding(graph, PBGParams(dimension=dimension, epochs=20), seed)
+    raise EvaluationError(f"unknown method {method!r}")
+
+
+def _resolve(dataset: Union[str, LabeledGraph], seed: int) -> LabeledGraph:
+    if isinstance(dataset, LabeledGraph):
+        return dataset
+    return load_dataset(dataset, seed=seed)
+
+
+def _cost(method: str, seconds: float) -> float:
+    key = method if method in SYSTEM_INSTANCE else "lightne"
+    return round(estimate_cost(key, seconds), 6)
+
+
+def run_method_comparison(
+    dataset: Union[str, LabeledGraph],
+    methods: Sequence[str],
+    *,
+    ratios: Sequence[float] = (0.1,),
+    dimension: int = 32,
+    window: int = 5,
+    multiplier: float = 1.0,
+    repeats: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> List[Row]:
+    """Node-classification comparison (the Table 4 / Figure 4 shape).
+
+    One row per method: time, cost, and Micro-F1 (percent) per ratio.
+    """
+    bundle = _resolve(dataset, seed)
+    if bundle.labels is None:
+        raise EvaluationError(f"dataset {bundle.name!r} has no labels")
+    rows: List[Row] = []
+    for method in methods:
+        result = dispatch_method(
+            method, bundle.graph, dimension=dimension, window=window,
+            multiplier=multiplier, seed=seed,
+        )
+        row: Row = {
+            "method": method,
+            "time_s": round(result.total_seconds, 3),
+            "cost_$": _cost(method, result.total_seconds),
+        }
+        for ratio in ratios:
+            score = evaluate_node_classification(
+                result.vectors, bundle.labels, ratio, repeats=repeats, seed=seed
+            )
+            row[f"micro@{ratio:g}"] = round(100 * score.micro_f1, 2)
+            row[f"macro@{ratio:g}"] = round(100 * score.macro_f1, 2)
+        rows.append(row)
+    return rows
+
+
+def run_link_prediction_comparison(
+    dataset: Union[str, LabeledGraph],
+    methods: Sequence[str],
+    *,
+    dimension: int = 32,
+    window: int = 5,
+    multiplier: float = 2.0,
+    test_fraction: float = 0.02,
+    num_negatives: int = 100,
+    seed: int = DEFAULT_SEED,
+) -> List[Row]:
+    """PBG-protocol comparison (the §5.2.1 table shape)."""
+    bundle = _resolve(dataset, seed)
+    train, pos_u, pos_v = train_test_split_edges(
+        bundle.graph, test_fraction, seed=seed
+    )
+    rows: List[Row] = []
+    for method in methods:
+        result = dispatch_method(
+            method, train, dimension=dimension, window=window,
+            multiplier=multiplier, seed=seed,
+        )
+        metrics = evaluate_link_prediction(
+            result.vectors, pos_u, pos_v, num_negatives=num_negatives,
+            ks=(1, 10, 50), seed=seed,
+        )
+        rows.append(
+            {
+                "method": method,
+                "time_s": round(result.total_seconds, 3),
+                "cost_$": _cost(method, result.total_seconds),
+                "MR": round(metrics.mean_rank, 2),
+                "MRR": round(metrics.mrr, 3),
+                "HITS@10": round(metrics.hits[10], 3),
+            }
+        )
+    return rows
+
+
+def run_multiplier_sweep(
+    dataset: Union[str, LabeledGraph],
+    multipliers: Sequence[float],
+    *,
+    ratio: float = 0.1,
+    dimension: int = 32,
+    window: int = 10,
+    repeats: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> List[Row]:
+    """The Figure-2 sweep: LightNE quality/time as M grows."""
+    bundle = _resolve(dataset, seed)
+    if bundle.labels is None:
+        raise EvaluationError(f"dataset {bundle.name!r} has no labels")
+    rows: List[Row] = []
+    for multiplier in multipliers:
+        result = dispatch_method(
+            "lightne", bundle.graph, dimension=dimension, window=window,
+            multiplier=multiplier, seed=seed,
+        )
+        score = evaluate_node_classification(
+            result.vectors, bundle.labels, ratio, repeats=repeats, seed=seed
+        )
+        rows.append(
+            {
+                "M": f"{multiplier:g}Tm",
+                "time_s": round(result.total_seconds, 3),
+                "nnz": result.info["sparsifier_nnz"],
+                f"micro@{ratio:g}": round(100 * score.micro_f1, 2),
+            }
+        )
+    return rows
+
+
+def run_stage_breakdown(
+    dataset: Union[str, LabeledGraph],
+    configs: Sequence[tuple],
+    *,
+    dimension: int = 32,
+    window: int = 10,
+    seed: int = DEFAULT_SEED,
+) -> List[Row]:
+    """The Table-5 shape: per-stage seconds per (name, method, multiplier)."""
+    bundle = _resolve(dataset, seed)
+    rows: List[Row] = []
+    for name, method, multiplier in configs:
+        result = dispatch_method(
+            method, bundle.graph, dimension=dimension, window=window,
+            multiplier=multiplier if multiplier is not None else 1.0, seed=seed,
+        )
+        stages = result.timer.stages
+        rows.append(
+            {
+                "method": name,
+                "sparsifier_s": round(stages["sparsifier"], 3)
+                if "sparsifier" in stages else None,
+                "svd_s": round(stages.get("svd", 0.0), 3),
+                "propagation_s": round(stages["propagation"], 3)
+                if "propagation" in stages else None,
+                "total_s": round(result.total_seconds, 3),
+            }
+        )
+    return rows
+
+
+def format_table(rows: Sequence[Row]) -> str:
+    """Render rows as an aligned text table (column order from row 0)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if value is None:
+            return "NA"
+        if isinstance(value, (float, np.floating)):
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = {c: max(len(str(c)), *(len(fmt(r.get(c))) for r in rows)) for c in columns}
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(fmt(r.get(c)).ljust(widths[c]) for c in columns) for r in rows
+    )
+    return f"{header}\n{rule}\n{body}"

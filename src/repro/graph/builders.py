@@ -1,0 +1,185 @@
+"""Constructors for :class:`~repro.graph.csr.CSRGraph`.
+
+The paper's pipeline ingests symmetric, de-duplicated, self-loop-free graphs
+(the "-Sym" datasets in Table 3 are symmetrized crawls).  ``from_edges`` is
+the canonical entry point: it symmetrizes, drops self-loops, merges parallel
+edges (summing weights) and produces sorted CSR adjacency lists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
+
+from repro.errors import GraphConstructionError
+from repro.graph.csr import CSRGraph
+
+
+def from_edges(
+    sources,
+    targets,
+    weights=None,
+    *,
+    num_vertices: Optional[int] = None,
+    symmetrize: bool = True,
+    drop_self_loops: bool = True,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from parallel endpoint arrays.
+
+    Parameters
+    ----------
+    sources, targets:
+        Integer endpoint arrays of equal length.
+    weights:
+        Optional per-edge weights; parallel duplicates are summed.
+    num_vertices:
+        Vertex-count override (``max id + 1`` when omitted).
+    symmetrize:
+        Store each edge in both directions (the library only models
+        undirected graphs, mirroring the paper).
+    drop_self_loops:
+        Remove ``u == v`` edges before building.
+    """
+    src = np.asarray(sources, dtype=np.int64).ravel()
+    dst = np.asarray(targets, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise GraphConstructionError(
+            f"sources and targets differ in length: {src.size} vs {dst.size}"
+        )
+    if src.size and (src.min() < 0 or dst.min() < 0):
+        raise GraphConstructionError("vertex ids must be non-negative")
+    if weights is not None:
+        wts = np.asarray(weights, dtype=np.float64).ravel()
+        if wts.shape != src.shape:
+            raise GraphConstructionError("weights must be parallel to endpoints")
+    else:
+        wts = None
+
+    if num_vertices is None:
+        num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    elif src.size and max(src.max(), dst.max()) >= num_vertices:
+        raise GraphConstructionError(
+            "num_vertices is smaller than the largest vertex id + 1"
+        )
+
+    if drop_self_loops and src.size:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if wts is not None:
+            wts = wts[keep]
+
+    if symmetrize and src.size:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if wts is not None:
+            wts = np.concatenate([wts, wts])
+
+    return _csr_from_directed(src, dst, wts, num_vertices)
+
+
+def _csr_from_directed(
+    src: np.ndarray, dst: np.ndarray, wts: Optional[np.ndarray], n: int
+) -> CSRGraph:
+    """Sort, deduplicate (summing weights) and pack directed edges into CSR."""
+    if src.size == 0:
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        return CSRGraph(offsets, np.empty(0, dtype=np.int64), None)
+
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if wts is not None:
+        wts = wts[order]
+
+    # Merge duplicates: group identical (src, dst) pairs.
+    new_group = np.empty(src.size, dtype=bool)
+    new_group[0] = True
+    np.logical_or(src[1:] != src[:-1], dst[1:] != dst[:-1], out=new_group[1:])
+    group_starts = np.flatnonzero(new_group)
+    u_src = src[group_starts]
+    u_dst = dst[group_starts]
+    if wts is not None:
+        u_wts = np.add.reduceat(wts, group_starts)
+    else:
+        u_wts = None
+
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(offsets, u_src + 1, 1)
+    np.cumsum(offsets, out=offsets)
+    return CSRGraph(offsets, u_dst, u_wts)
+
+
+def from_scipy(matrix: sp.spmatrix, *, symmetrize: bool = True) -> CSRGraph:
+    """Build a graph from a scipy sparse adjacency matrix.
+
+    When ``symmetrize`` is true the matrix is replaced by
+    ``max(A, A.T)`` so asymmetric inputs become valid undirected graphs;
+    otherwise the matrix must already be symmetric.
+    """
+    rows, cols = matrix.shape
+    if rows != cols:
+        raise GraphConstructionError(f"adjacency must be square, got {matrix.shape}")
+
+    def _maybe_weights(data: np.ndarray):
+        # All-ones data means an unweighted graph; keep the leaner layout.
+        return None if data.size == 0 or np.all(data == 1.0) else data
+
+    coo = matrix.tocoo()
+    if symmetrize:
+        return from_edges(
+            coo.row,
+            coo.col,
+            _maybe_weights(coo.data),
+            num_vertices=rows,
+            symmetrize=True,
+        )
+    a = matrix.tocsr()
+    diff = (a - a.T).tocoo()
+    if diff.nnz and np.abs(diff.data).max() > 1e-12:
+        raise GraphConstructionError("matrix is not symmetric; pass symmetrize=True")
+    # Already symmetric: each direction is present, do not double.
+    coo = a.tocoo()
+    keep = coo.row != coo.col
+    return from_edges(
+        coo.row[keep],
+        coo.col[keep],
+        _maybe_weights(coo.data[keep]),
+        num_vertices=rows,
+        symmetrize=False,
+    )
+
+
+def to_scipy(graph: CSRGraph) -> sp.csr_matrix:
+    """Adjacency matrix of ``graph`` (alias of :meth:`CSRGraph.adjacency`)."""
+    return graph.adjacency()
+
+
+def relabel_largest_component(graph: CSRGraph) -> Tuple[CSRGraph, np.ndarray]:
+    """Restrict ``graph`` to its largest connected component.
+
+    Returns the induced subgraph and the array of original vertex ids kept
+    (position ``i`` holds the old id of new vertex ``i``).  Uses scipy's
+    connected-components on the adjacency matrix.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    n_comp, labels = csgraph.connected_components(graph.adjacency(), directed=False)
+    if n_comp <= 1:
+        return graph, np.arange(n, dtype=np.int64)
+    largest = np.argmax(np.bincount(labels))
+    keep = np.flatnonzero(labels == largest).astype(np.int64)
+    remap = -np.ones(n, dtype=np.int64)
+    remap[keep] = np.arange(keep.size)
+    src, dst = graph.edge_endpoints()
+    mask = (remap[src] >= 0) & (remap[dst] >= 0)
+    wts = graph.weights[mask] if graph.weights is not None else None
+    sub = from_edges(
+        remap[src[mask]],
+        remap[dst[mask]],
+        wts,
+        num_vertices=keep.size,
+        symmetrize=False,
+    )
+    return sub, keep

@@ -1,0 +1,232 @@
+"""Graph serialization: text edge lists and a binary CSR container.
+
+Two formats:
+
+* **Edge list** (``.txt``/``.edges``) — one ``u v [w]`` pair per line,
+  ``#``-prefixed comments allowed; the lingua franca of the embedding
+  literature (all of the paper's public datasets ship this way).
+* **Binary CSR** (``.csr.npz``) — numpy ``savez`` of the offsets/targets
+  (/weights) arrays; loads back without re-sorting, the analog of the
+  preprocessed binary inputs GBBS consumes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import from_edges
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, os.PathLike]
+
+_MAGIC = "repro-csr-v1"
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    symmetrize: bool = True,
+    num_vertices: Optional[int] = None,
+) -> CSRGraph:
+    """Parse a whitespace-separated edge-list file into a graph.
+
+    Lines may be ``u v`` or ``u v weight``; blank lines and lines starting
+    with ``#`` or ``%`` are skipped.  Mixing weighted and unweighted lines is
+    an error.
+    """
+    sources = []
+    targets = []
+    weights = []
+    saw_weight = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped[0] in "#%":
+                continue
+            parts = stripped.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v [w]', got {stripped!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer vertex id in {stripped!r}"
+                ) from exc
+            has_weight = len(parts) == 3
+            if saw_weight is None:
+                saw_weight = has_weight
+            elif saw_weight != has_weight:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: mixed weighted/unweighted lines"
+                )
+            sources.append(u)
+            targets.append(v)
+            if has_weight:
+                try:
+                    weights.append(float(parts[2]))
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: bad weight in {stripped!r}"
+                    ) from exc
+    return from_edges(
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        np.asarray(weights) if saw_weight else None,
+        num_vertices=num_vertices,
+        symmetrize=symmetrize,
+    )
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write each undirected edge once (``u < v``), with weight if present."""
+    src, dst = graph.edge_endpoints()
+    mask = src < dst
+    src, dst = src[mask], dst[mask]
+    wts = graph.weights[mask] if graph.weights is not None else None
+    with open(path, "w", encoding="utf-8") as handle:
+        if wts is None:
+            for u, v in zip(src, dst):
+                handle.write(f"{u} {v}\n")
+        else:
+            for u, v, w in zip(src, dst, wts):
+                handle.write(f"{u} {v} {w:.10g}\n")
+
+
+def read_metis(path: PathLike) -> CSRGraph:
+    """Parse a METIS graph file.
+
+    Header line: ``n m [fmt]`` (only unweighted fmt 0/00 or vertex-weighted
+    headers without edge weights are supported); line ``i`` then lists the
+    1-indexed neighbors of vertex ``i``.  Comment lines start with ``%``.
+    """
+    sources = []
+    targets = []
+    header = None
+    vertex = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if stripped and stripped[0] == "%":
+                continue
+            if not stripped:
+                # A blank adjacency line is a valid isolated vertex (but
+                # blank lines before the header are just skipped).
+                if header is not None:
+                    vertex += 1
+                continue
+            parts = stripped.split()
+            if header is None:
+                if len(parts) < 2:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: METIS header needs 'n m'"
+                    )
+                if len(parts) >= 3 and parts[2].strip("0"):
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: weighted METIS fmt {parts[2]!r} "
+                        "not supported"
+                    )
+                header = (int(parts[0]), int(parts[1]))
+                continue
+            vertex += 1
+            for token in parts:
+                try:
+                    neighbor = int(token)
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: bad neighbor id {token!r}"
+                    ) from exc
+                if neighbor < 1 or (header and neighbor > header[0]):
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: neighbor {neighbor} out of range"
+                    )
+                sources.append(vertex - 1)
+                targets.append(neighbor - 1)
+    if header is None:
+        raise GraphFormatError(f"{path}: missing METIS header")
+    n, m = header
+    if vertex != n:
+        raise GraphFormatError(
+            f"{path}: header declares {n} vertices, found {vertex} adjacency lines"
+        )
+    graph = from_edges(
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        num_vertices=n,
+        symmetrize=True,
+    )
+    if graph.num_edges != m:
+        # METIS counts undirected edges; tolerate mismatch from dedup but
+        # flag gross inconsistencies.
+        if abs(graph.num_edges - m) > max(2, m // 10):
+            raise GraphFormatError(
+                f"{path}: header declares {m} edges, parsed {graph.num_edges}"
+            )
+    return graph
+
+
+def write_metis(graph: CSRGraph, path: PathLike) -> None:
+    """Write the METIS format (unweighted; weights are dropped)."""
+    n = graph.num_vertices
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{n} {graph.num_edges}\n")
+        for u in range(n):
+            line = " ".join(str(int(v) + 1) for v in graph.neighbors(u))
+            handle.write(line + "\n")
+
+
+def read_adjacency_list(path: PathLike) -> CSRGraph:
+    """Parse a SNAP-style adjacency list: ``u v1 v2 v3 ...`` per line.
+
+    0-indexed; ``#``/``%`` comments allowed; vertices may repeat across
+    lines (lists merge).
+    """
+    sources = []
+    targets = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped[0] in "#%":
+                continue
+            parts = stripped.split()
+            try:
+                ids = [int(token) for token in parts]
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer id in {stripped!r}"
+                ) from exc
+            u = ids[0]
+            for v in ids[1:]:
+                sources.append(u)
+                targets.append(v)
+    return from_edges(
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        symmetrize=True,
+    )
+
+
+def save_csr(graph: CSRGraph, path: PathLike) -> None:
+    """Save a graph to the binary ``.npz`` CSR container."""
+    arrays = {
+        "magic": np.array(_MAGIC),
+        "offsets": graph.offsets,
+        "targets": graph.targets,
+    }
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    np.savez_compressed(path, **arrays)
+
+
+def load_csr(path: PathLike) -> CSRGraph:
+    """Load a graph previously written by :func:`save_csr`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _MAGIC:
+            raise GraphFormatError(f"{path} is not a repro CSR container")
+        weights = data["weights"] if "weights" in data else None
+        return CSRGraph(data["offsets"], data["targets"], weights)

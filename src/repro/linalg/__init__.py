@@ -1,0 +1,14 @@
+"""Linear algebra kernels: randomized SVD (paper Algo 3) and ProNE's
+Chebyshev spectral propagation, both on numpy/scipy (the MKL stand-in)."""
+
+from repro.linalg.randomized_svd import randomized_svd, embedding_from_svd
+from repro.linalg.spectral import spectral_propagation, chebyshev_gaussian_filter
+from repro.linalg.operators import polynomial_operator
+
+__all__ = [
+    "randomized_svd",
+    "embedding_from_svd",
+    "spectral_propagation",
+    "chebyshev_gaussian_filter",
+    "polynomial_operator",
+]

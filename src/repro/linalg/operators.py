@@ -1,0 +1,83 @@
+"""Implicit linear operators for factorization without materialization.
+
+The NPR/NRP baseline (paper Section 2) exploits the fact that *without* the
+entry-wise truncated logarithm, the random-walk polynomial never has to be
+constructed: its action on a vector is a handful of SPMVs.  We expose that
+shortcut as a :class:`scipy.sparse.linalg.LinearOperator` factory, which our
+randomized SVD consumes directly — demonstrating precisely why the log step
+(required for DeepWalk equivalence) is what forces NetSMF-style sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import FactorizationError
+
+
+def polynomial_operator(
+    walk_matrix: sp.spmatrix,
+    coefficients: Sequence[float],
+    *,
+    right_scale: np.ndarray = None,
+) -> spla.LinearOperator:
+    """LinearOperator for ``(Σ_r c_r P^r) diag(right_scale)``.
+
+    Parameters
+    ----------
+    walk_matrix:
+        Sparse ``P`` (typically ``D⁻¹A``).
+    coefficients:
+        ``c_0 … c_k``; Horner evaluation uses ``k`` SPMVs per matvec.
+    right_scale:
+        Optional diagonal right-scaling (e.g. ``D⁻¹`` for the NetMF form).
+    """
+    coefficients = [float(c) for c in coefficients]
+    if not coefficients:
+        raise FactorizationError("coefficients must be non-empty")
+    n = walk_matrix.shape[0]
+    if walk_matrix.shape[0] != walk_matrix.shape[1]:
+        raise FactorizationError(f"walk_matrix must be square, got {walk_matrix.shape}")
+    if right_scale is not None:
+        right_scale = np.asarray(right_scale, dtype=np.float64)
+        if right_scale.shape != (n,):
+            raise FactorizationError("right_scale must be a length-n vector")
+
+    p = walk_matrix.tocsr()
+    pt = p.T.tocsr()
+
+    def _apply(matrix: sp.csr_matrix, block: np.ndarray) -> np.ndarray:
+        # Horner: result = (((c_k P + c_{k-1}) P + ...) + c_0) block
+        block = np.atleast_2d(block.T).T if block.ndim == 1 else block
+        acc = coefficients[-1] * block
+        for c in reversed(coefficients[:-1]):
+            acc = matrix @ acc + c * block
+        return acc
+
+    def matvec(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        vec = x.reshape(n, -1)
+        scaled = vec * right_scale[:, None] if right_scale is not None else vec
+        out = _apply(p, scaled)
+        return out.reshape(x.shape)
+
+    def rmatvec(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        vec = x.reshape(n, -1)
+        out = _apply(pt, vec)
+        if right_scale is not None:
+            out = out * right_scale[:, None]
+        return out.reshape(x.shape)
+
+    return spla.LinearOperator(
+        shape=(n, n),
+        matvec=matvec,
+        rmatvec=rmatvec,
+        matmat=matvec,
+        rmatmat=rmatvec,
+        dtype=np.float64,
+    )

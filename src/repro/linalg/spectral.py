@@ -1,0 +1,138 @@
+r"""Spectral propagation — ProNE's Chebyshev band-pass filter (paper §3.2/4.3).
+
+Step 2 of LightNE enhances the factorized embedding ``X`` by applying a low
+degree polynomial of the normalized graph Laplacian:
+``X ← Σ_{r=0}^{k} c_r 𝓛^r X`` with Chebyshev coefficients and ``k ≈ 10``.
+
+We implement ProNE's concrete instantiation: the Gaussian band-pass kernel
+``g(λ) = exp(-((λ - μ)² - 1)·θ/2)`` expanded in Chebyshev polynomials whose
+coefficients are modified Bessel functions ``i_r(θ)`` (``scipy.special.iv``),
+evaluated with the three-term recurrence on the *modulated* Laplacian
+``M = L - μI`` where ``L = I - D⁻¹(A + I)`` (self-loops added for stability).
+The filtered signal is re-orthogonalized by a small dense SVD, matching
+ProNE's ``get_embedding_dense``.
+
+Every matrix product here is an SPMM between a sparse ``n × n`` operator and
+the dense ``n × d`` embedding — the operation the paper offloads to MKL
+Sparse BLAS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.special import iv
+
+from repro.errors import FactorizationError
+from repro.graph.compression import CompressedGraph
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike
+
+
+def _row_normalized_adjacency(graph) -> sp.csr_matrix:
+    """``D⁻¹(A + I)`` — ProNE adds the identity before normalizing."""
+    if isinstance(graph, CompressedGraph):
+        graph = graph.decompress()
+    n = graph.num_vertices
+    adjacency = (graph.adjacency() + sp.eye(n, format="csr")).tocsr()
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    inv = np.where(degrees > 0, 1.0 / degrees, 0.0)
+    return (sp.diags(inv) @ adjacency).tocsr()
+
+
+def chebyshev_gaussian_filter(
+    graph,
+    embedding: np.ndarray,
+    *,
+    order: int = 10,
+    mu: float = 0.2,
+    theta: float = 0.5,
+) -> np.ndarray:
+    """Apply the Chebyshev-expanded Gaussian filter to ``embedding``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (provides the propagation operator).
+    embedding:
+        Dense ``(n, d)`` embedding matrix ``X``.
+    order:
+        Polynomial degree ``k`` (paper sets ~10).
+    mu, theta:
+        Band-pass center and width of the Gaussian kernel.
+
+    Returns
+    -------
+    The propagated (unnormalized) ``(n, d)`` matrix; callers usually pass it
+    through :func:`rescale_embedding`.
+    """
+    x = np.ascontiguousarray(embedding, dtype=np.float64)
+    if x.ndim != 2 or x.shape[0] != graph.num_vertices:
+        raise FactorizationError(
+            f"embedding shape {x.shape} incompatible with n={graph.num_vertices}"
+        )
+    if order < 1:
+        raise FactorizationError(f"order must be >= 1, got {order}")
+    if order == 1:
+        return x.copy()
+
+    da = _row_normalized_adjacency(graph)
+    n = graph.num_vertices
+    laplacian = sp.eye(n, format="csr") - da
+    modulated = (laplacian - mu * sp.eye(n, format="csr")).tocsr()
+
+    # Chebyshev recurrence (ProNE's exact update rule).
+    lx0 = x
+    lx1 = modulated @ x
+    lx1 = 0.5 * (modulated @ lx1) - x
+    conv = iv(0, theta) * lx0
+    conv -= 2.0 * iv(1, theta) * lx1
+    sign = 1.0
+    for i in range(2, order):
+        lx2 = modulated @ lx1
+        lx2 = (modulated @ lx2 - 2.0 * lx1) - lx0
+        conv += sign * 2.0 * iv(i, theta) * lx2
+        sign = -sign
+        lx0, lx1 = lx1, lx2
+    adjacency_plus_i = da  # one more smoothing hop, as in ProNE
+    return np.asarray(adjacency_plus_i @ (x - conv))
+
+
+def rescale_embedding(matrix: np.ndarray, dimension: Optional[int] = None) -> np.ndarray:
+    """Re-orthogonalize via dense SVD: ``U_d · Σ_d^{1/2}``, then L2-ish rescale.
+
+    Mirrors ProNE's ``get_embedding_dense``: project the propagated signal
+    back onto its top singular directions so columns stay well-conditioned.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if dimension is None:
+        dimension = matrix.shape[1]
+    if dimension < 1 or dimension > matrix.shape[1]:
+        raise FactorizationError(
+            f"dimension {dimension} invalid for matrix with {matrix.shape[1]} columns"
+        )
+    u, sigma, _ = np.linalg.svd(matrix, full_matrices=False)
+    u = u[:, :dimension]
+    sigma = sigma[:dimension]
+    return u * np.sqrt(sigma)[None, :]
+
+
+def spectral_propagation(
+    graph,
+    embedding: np.ndarray,
+    *,
+    order: int = 10,
+    mu: float = 0.2,
+    theta: float = 0.5,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Full ProNE enhancement: Chebyshev filter then SVD re-orthogonalization.
+
+    ``seed`` is accepted for interface uniformity (the step is deterministic).
+    """
+    filtered = chebyshev_gaussian_filter(
+        graph, embedding, order=order, mu=mu, theta=theta
+    )
+    return rescale_embedding(filtered, embedding.shape[1])

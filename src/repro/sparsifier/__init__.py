@@ -1,0 +1,40 @@
+"""Parallel sparsifier construction (paper Sections 3.2 and 4.2).
+
+Pipeline: degree-based edge **downsampling** probabilities → per-edge
+**PathSampling** (Algorithms 1 and 2) → **sparse hashing** aggregation →
+the trunc-log **NetMF matrix estimator** factorized downstream.
+"""
+
+from repro.sparsifier.downsampling import downsampling_probabilities
+from repro.sparsifier.path_sampling import (
+    PathSamplingConfig,
+    path_sample_pairs,
+    sample_sparsifier_edges,
+)
+from repro.sparsifier.hashtable import SparseParallelHashTable
+from repro.sparsifier.aggregation import (
+    aggregate_dict,
+    aggregate_hash,
+    aggregate_histogram,
+    aggregate_sort,
+)
+from repro.sparsifier.builder import (
+    SparsifierResult,
+    build_netmf_sparsifier,
+    sparsifier_to_netmf_matrix,
+)
+
+__all__ = [
+    "downsampling_probabilities",
+    "PathSamplingConfig",
+    "path_sample_pairs",
+    "sample_sparsifier_edges",
+    "SparseParallelHashTable",
+    "aggregate_dict",
+    "aggregate_hash",
+    "aggregate_histogram",
+    "aggregate_sort",
+    "SparsifierResult",
+    "build_netmf_sparsifier",
+    "sparsifier_to_netmf_matrix",
+]

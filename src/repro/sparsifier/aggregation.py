@@ -1,0 +1,101 @@
+"""Edge-sample aggregation strategies (paper Section 4.2).
+
+The paper considered several ways to count how often each distinct edge is
+sampled: per-processor lists merged by GBBS's sparse histogram (a semisort),
+per-processor hash tables merged periodically, and a single shared sparse
+parallel hash table — the last being fastest and most memory-efficient on
+their hardware.  We implement three analogs so benchmark E12 can compare
+them:
+
+* :func:`aggregate_hash` — the shared :class:`SparseParallelHashTable`;
+* :func:`aggregate_sort` — semisort analog: ``np.unique`` on packed keys;
+* :func:`aggregate_dict` — plain Python dict (reference implementation used
+  by the tests as ground truth).
+
+All return identical ``(rows, cols, values)`` triples up to ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.sparsifier.hashtable import SparseParallelHashTable
+
+Triple = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _as_arrays(rows, cols, values) -> Triple:
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if not (rows.shape == cols.shape == values.shape):
+        raise ValueError("rows, cols and values must be parallel arrays")
+    return rows, cols, values
+
+
+def aggregate_hash(
+    rows, cols, values, n: int, *, batch_size: int = 1_000_000
+) -> Triple:
+    """Aggregate with the shared sparse parallel hash table (paper's choice)."""
+    rows, cols, values = _as_arrays(rows, cols, values)
+    table = SparseParallelHashTable(capacity_hint=max(1024, rows.size // 4))
+    for start in range(0, rows.size, batch_size):
+        stop = start + batch_size
+        table.add_pairs(rows[start:stop], cols[start:stop], values[start:stop], n)
+    return table.to_pairs(n)
+
+
+def aggregate_sort(rows, cols, values, n: int) -> Triple:
+    """Semisort-analog aggregation: sort packed keys, reduce runs."""
+    rows, cols, values = _as_arrays(rows, cols, values)
+    if rows.size == 0:
+        return rows, cols, values
+    keys = rows * np.int64(n) + cols
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    sums = np.zeros(unique_keys.size)
+    np.add.at(sums, inverse, values)
+    return unique_keys // n, unique_keys % n, sums
+
+
+def aggregate_histogram(
+    rows, cols, values, n: int, *, num_partitions: int = 8
+) -> Triple:
+    """Per-processor lists merged by a sparse histogram (GBBS alternative #1).
+
+    Simulates the first strategy §4.2 considered: each "processor" buffers
+    its own list of samples; the merge phase builds a histogram over the
+    union.  We partition the stream round-robin (as a work-stealing scheduler
+    would), locally sort-reduce each partition, then merge the partial
+    histograms.  Results match the other aggregators exactly.
+    """
+    rows, cols, values = _as_arrays(rows, cols, values)
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    if rows.size == 0:
+        return rows, cols, values
+    partials = []
+    for start in range(num_partitions):
+        sl = slice(start, None, num_partitions)
+        if rows[sl].size:
+            partials.append(aggregate_sort(rows[sl], cols[sl], values[sl], n))
+    merged_rows = np.concatenate([p[0] for p in partials])
+    merged_cols = np.concatenate([p[1] for p in partials])
+    merged_vals = np.concatenate([p[2] for p in partials])
+    return aggregate_sort(merged_rows, merged_cols, merged_vals, n)
+
+
+def aggregate_dict(rows, cols, values, n: int) -> Triple:
+    """Reference dict-of-floats aggregation (slow, obviously correct)."""
+    rows, cols, values = _as_arrays(rows, cols, values)
+    table: Dict[int, float] = {}
+    for r, c, v in zip(rows.tolist(), cols.tolist(), values.tolist()):
+        key = r * n + c
+        table[key] = table.get(key, 0.0) + v
+    if not table:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0)
+    keys = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
+    sums = np.fromiter(table.values(), dtype=np.float64, count=len(table))
+    return keys // n, keys % n, sums

@@ -1,0 +1,159 @@
+r"""From edge samples to the sparsified NetMF matrix (paper Eq. 1).
+
+Estimator derivation
+--------------------
+Let ``A_r = A (D⁻¹A)^{r-1}`` (so ``D⁻¹ A_r D⁻¹ = (D⁻¹A)^r D⁻¹``).  For an
+unweighted graph, a PathSampling draw seeded at a uniformly random oriented
+edge with a uniform split position outputs the ordered pair ``(x, y)`` of a
+length-``r`` path ``v_0 … v_r`` with probability
+
+    P(path) = (1/vol(G)) · Π_{j=1}^{r-1} 1/d(v_j)
+
+(the ``1/r`` split factor cancels against the ``r`` valid seed positions).
+Summing over paths gives ``P(x, y) = A_r(x, y) / vol(G)`` — exactly the mass
+of the ``r``-step walk matrix.  With ``M`` total draws, walk lengths uniform
+on ``[1, T]``, and aggregated (downsample-reweighted) pair weights
+``W(x, y)``,
+
+    E[W(x, y)] = (M / (T · vol(G))) · Σ_{r=1}^T A_r(x, y),
+
+so the sparsified Eq. (1) entry is
+
+    M̂(x, y) = trunc_log( vol(G)² · W̄(x, y) / (b · M · d_x · d_y) )
+
+where ``W̄`` is the symmetrized aggregate ``(W + Wᵀ)/2`` (the sampling law is
+symmetric, so averaging the two orientations halves the variance for free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import SamplingError
+from repro.graph.compression import CompressedGraph
+from repro.graph.csr import CSRGraph
+from repro.sparsifier.aggregation import aggregate_hash, aggregate_sort
+from repro.sparsifier.path_sampling import PathSamplingConfig, sample_sparsifier_edges
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.timer import StageTimer
+
+GraphLike = Union[CSRGraph, CompressedGraph]
+
+
+@dataclass
+class SparsifierResult:
+    """Aggregated sparsifier plus the bookkeeping the estimator needs.
+
+    Attributes
+    ----------
+    counts:
+        Sparse ``n × n`` matrix of aggregated sample weights ``W`` (not yet
+        symmetrized or log-transformed).
+    num_draws:
+        Realized number of PathSampling trials ``M`` before downsampling.
+    window:
+        The context window ``T`` used.
+    """
+
+    counts: sp.csr_matrix
+    num_draws: int
+    window: int
+
+    @property
+    def nnz(self) -> int:
+        """Non-zeros retained in the sparsifier."""
+        return self.counts.nnz
+
+
+def trunc_log(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Entry-wise truncated logarithm ``max(0, log x)`` on stored entries.
+
+    The paper stresses this step cannot be omitted (it is what separates
+    NetMF/NetSMF from the NPR shortcut).  Entries with ``x <= 1`` vanish,
+    which also re-sparsifies the matrix.
+    """
+    result = matrix.tocsr(copy=True)
+    data = result.data
+    out = np.zeros_like(data)
+    positive = data > 1.0
+    out[positive] = np.log(data[positive])
+    result.data = out
+    result.eliminate_zeros()
+    return result
+
+
+def build_netmf_sparsifier(
+    graph: GraphLike,
+    config: PathSamplingConfig,
+    seed: SeedLike = None,
+    *,
+    aggregator: str = "hash",
+    timer: Optional[StageTimer] = None,
+) -> SparsifierResult:
+    """Sample (Algorithm 2) and aggregate into the count matrix ``W``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (CSR or compressed).
+    config:
+        Sampling parameters (window ``T``, sample budget ``M``, downsampling).
+    aggregator:
+        ``"hash"`` (paper's sparse parallel hashing) or ``"sort"``
+        (semisort analog).
+    timer:
+        Optional :class:`StageTimer` to record the construction time under
+        ``"sparsifier"`` (Table 5's first column).
+    """
+    rng = ensure_rng(seed)
+    n = graph.num_vertices
+    timer = timer if timer is not None else StageTimer()
+    with timer.stage("sparsifier"):
+        u, v, w, draws = sample_sparsifier_edges(graph, config, rng)
+        if aggregator == "hash":
+            rows, cols, vals = aggregate_hash(u, v, w, n)
+        elif aggregator == "sort":
+            rows, cols, vals = aggregate_sort(u, v, w, n)
+        else:
+            raise SamplingError(f"unknown aggregator {aggregator!r}")
+        counts = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    return SparsifierResult(counts=counts, num_draws=draws, window=config.window)
+
+
+def sparsifier_to_netmf_matrix(
+    graph: GraphLike,
+    result: SparsifierResult,
+    *,
+    negative_samples: float = 1.0,
+) -> sp.csr_matrix:
+    """Apply the estimator above: scale, symmetrize, trunc-log.
+
+    Parameters
+    ----------
+    graph:
+        The graph the sparsifier was built from (provides ``vol`` and ``D``).
+    result:
+        Output of :func:`build_netmf_sparsifier`.
+    negative_samples:
+        The ``b`` in Eq. (1) (skip-gram negative-sample count, default 1).
+    """
+    if result.num_draws <= 0:
+        raise SamplingError("sparsifier has no samples")
+    if negative_samples <= 0:
+        raise SamplingError(f"negative_samples must be > 0, got {negative_samples}")
+    degrees = graph.weighted_degrees()
+    if np.any(degrees <= 0):
+        # Isolated vertices never appear in samples; give them degree 1 to
+        # keep the diagonal scaling finite (their rows stay empty anyway).
+        degrees = np.where(degrees > 0, degrees, 1.0)
+    volume = graph.volume
+    scale = volume * volume / (negative_samples * result.num_draws)
+
+    symmetric = (result.counts + result.counts.T) * 0.5
+    inv_d = sp.diags(1.0 / degrees)
+    scaled = (inv_d @ symmetric @ inv_d) * scale
+    return trunc_log(scaled)

@@ -1,0 +1,223 @@
+"""PathSampling (Algorithm 1) and the downsampled per-edge variant (Algorithm 2).
+
+Algorithm 1 takes a seed edge ``(u, v)`` and a walk length ``r``: it picks a
+uniform split ``s ∈ [0, r-1]``, walks ``u`` for ``s`` steps and ``v`` for
+``r - 1 - s`` steps, and returns the endpoint pair ``(u', v')``.  A short
+derivation (see :mod:`repro.sparsifier.builder`) shows the output pair is
+distributed proportional to the ``r``-step walk matrix
+``A_r = A (D⁻¹A)^{r-1}``, which is what makes the sparsifier unbiased.
+
+Algorithm 2 replaces "pick M uniformly random seed edges" by a per-edge loop
+that is cache-friendly and compression-friendly: every edge ``e`` runs the
+sampler ``n_e = ⌊M/m⌋ + Bernoulli({M/m})`` times, and each run first flips the
+downsampling coin ``p_e``; survivors carry weight ``1/p_e``.
+
+Everything here is vectorized: seed edges are expanded into flat arrays,
+grouped by walk length ``r``, and the two walks are advanced in lock-step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graph.compression import CompressedGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.walks import step_random_walk
+from repro.sparsifier.downsampling import downsampling_probabilities
+from repro.utils.parallel import chunk_ranges, parallel_map
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+GraphLike = Union[CSRGraph, CompressedGraph]
+
+
+@dataclass(frozen=True)
+class PathSamplingConfig:
+    """Parameters of the sparsifier sampling stage.
+
+    Attributes
+    ----------
+    window:
+        Context window size ``T`` (walk lengths are uniform in ``[1, T]``).
+    num_samples:
+        Expected total number of PathSampling draws ``M`` (before the
+        downsampling coin).  The paper parameterizes this as multiples of
+        ``T·m`` — use :meth:`samples_for_multiplier`.
+    downsample:
+        Apply the degree-based downsampling coin (LightNE) or keep every draw
+        (plain NetSMF).
+    downsample_constant:
+        The constant ``C`` (``log n`` when ``None``).
+    """
+
+    window: int = 10
+    num_samples: int = 0
+    downsample: bool = True
+    downsample_constant: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise SamplingError(f"window T must be >= 1, got {self.window}")
+        if self.num_samples < 0:
+            raise SamplingError(
+                f"num_samples must be non-negative, got {self.num_samples}"
+            )
+
+    @staticmethod
+    def samples_for_multiplier(graph: GraphLike, window: int, multiplier: float) -> int:
+        """``M = multiplier · T · m`` — the paper's M=0.1Tm … 20Tm notation."""
+        return int(round(multiplier * window * graph.num_edges))
+
+
+def path_sample_pairs(
+    graph: GraphLike,
+    seed_u: np.ndarray,
+    seed_v: np.ndarray,
+    lengths: np.ndarray,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized Algorithm 1 over arrays of seed edges.
+
+    For each ``i``: picks ``s ~ Uniform[0, lengths[i]-1]``, walks
+    ``seed_u[i]`` for ``s`` steps and ``seed_v[i]`` for ``lengths[i]-1-s``
+    steps, returning the two walk endpoints.
+    """
+    rng = ensure_rng(seed)
+    seed_u = np.asarray(seed_u, dtype=np.int64)
+    seed_v = np.asarray(seed_v, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if not (seed_u.shape == seed_v.shape == lengths.shape):
+        raise SamplingError("seed_u, seed_v and lengths must be parallel arrays")
+    if lengths.size and lengths.min() < 1:
+        raise SamplingError("walk lengths must be >= 1")
+    splits = (rng.random(lengths.size) * lengths).astype(np.int64)
+    u_prime = step_random_walk(graph, seed_u, splits, rng)
+    v_prime = step_random_walk(graph, seed_v, lengths - 1 - splits, rng)
+    return u_prime, v_prime
+
+
+def _per_edge_sample_counts(
+    num_edges: int, num_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n_e = ⌊M/m⌋ + Bernoulli({M/m})`` per edge (Algorithm 2, line 3)."""
+    base, frac = divmod(num_samples, num_edges)
+    counts = np.full(num_edges, base, dtype=np.int64)
+    counts += rng.random(num_edges) < (frac / num_edges)
+    return counts
+
+
+def _weighted_sample_counts(
+    edge_weights: np.ndarray, num_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-edge counts with expectation ``M · w_e / Σw``.
+
+    The unweighted uniform-edge process generalizes to weighted graphs by
+    seeding proportional to edge weight (a random walk traverses edge ``e``
+    with stationary frequency ``w_e / Σw``); floor + Bernoulli keeps the
+    realization integral and the expectation exact per edge.
+    """
+    expectation = num_samples * edge_weights / edge_weights.sum()
+    base = np.floor(expectation).astype(np.int64)
+    frac = expectation - base
+    return base + (rng.random(edge_weights.size) < frac)
+
+
+def sample_sparsifier_edges(
+    graph: GraphLike,
+    config: PathSamplingConfig,
+    seed: SeedLike = None,
+    *,
+    batch_size: int = 2_000_000,
+    workers: int = 1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Run Algorithm 2 end to end.
+
+    Returns ``(u', v', weights, draws)`` where ``weights[i] = 1/p_e`` of the
+    seed edge of sample ``i`` (all ones when downsampling is off) and
+    ``draws`` is the realized number of PathSampling trials before the coin
+    (the paper's ``M``; needed for the estimator's normalization).
+
+    Batches cap peak memory: samples are generated per slab of the expanded
+    seed array, walked, and concatenated.  With ``workers > 1`` the surviving
+    seeds are split into contiguous chunks walked on a thread pool with
+    independent derived RNG streams — the Python analog of the paper's
+    parallel ``MapEdges`` (numpy walk kernels release the GIL).
+    """
+    rng = ensure_rng(seed)
+    if isinstance(graph, CompressedGraph):
+        flat = graph.decompress()
+    else:
+        flat = graph
+    m = flat.num_edges
+    if m == 0:
+        raise SamplingError("cannot sample from an empty graph")
+    if config.num_samples <= 0:
+        raise SamplingError("config.num_samples must be set (> 0)")
+
+    src, dst = flat.edge_endpoints()
+    mask = src < dst
+    src, dst = src[mask], dst[mask]
+    edge_w = flat.weights[mask] if flat.weights is not None else None
+
+    if edge_w is not None:
+        counts = _weighted_sample_counts(edge_w, config.num_samples, rng)
+    else:
+        counts = _per_edge_sample_counts(m, config.num_samples, rng)
+    total_draws = int(counts.sum())
+
+    if config.downsample:
+        probs = downsampling_probabilities(
+            src,
+            dst,
+            flat.weighted_degrees(),
+            constant=config.downsample_constant,
+            edge_weights=edge_w,
+        )
+    else:
+        probs = np.ones(m)
+
+    # Expand seeds, apply the coin per draw, then walk survivors in batches.
+    seed_edge = np.repeat(np.arange(m, dtype=np.int64), counts)
+    if config.downsample:
+        survive = rng.random(seed_edge.size) < probs[seed_edge]
+        seed_edge = seed_edge[survive]
+    walk_graph = graph  # walks run on the (possibly compressed) original
+
+    def walk_chunk(batch: np.ndarray, chunk_rng: np.random.Generator):
+        lengths = chunk_rng.integers(1, config.window + 1, size=batch.size)
+        # Randomize seed orientation: (u,v) vs (v,u) — the uniform-edge
+        # process is orientation-symmetric.
+        flip = chunk_rng.random(batch.size) < 0.5
+        s_u = np.where(flip, dst[batch], src[batch])
+        s_v = np.where(flip, src[batch], dst[batch])
+        u_prime, v_prime = path_sample_pairs(
+            walk_graph, s_u, s_v, lengths, chunk_rng
+        )
+        return u_prime, v_prime, 1.0 / probs[batch]
+
+    if seed_edge.size == 0:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i.copy(), np.empty(0), total_draws
+
+    if workers > 1:
+        ranges = chunk_ranges(seed_edge.size, workers)
+        rngs = spawn_rngs(rng, len(ranges))
+        args = [
+            (seed_edge[start:stop], chunk_rng)
+            for (start, stop), chunk_rng in zip(ranges, rngs)
+        ]
+        results = parallel_map(walk_chunk, args, workers=workers)
+    else:
+        results = [
+            walk_chunk(seed_edge[start : start + batch_size], rng)
+            for start in range(0, seed_edge.size, batch_size)
+        ]
+    return (
+        np.concatenate([r[0] for r in results]),
+        np.concatenate([r[1] for r in results]),
+        np.concatenate([r[2] for r in results]),
+        total_draws,
+    )

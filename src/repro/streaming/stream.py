@@ -1,0 +1,115 @@
+"""Edge-stream primitives for the dynamic-embedding prototype."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class EdgeBatch:
+    """One batch of graph updates: edges arriving and (optionally) leaving."""
+
+    add_sources: np.ndarray
+    add_targets: np.ndarray
+    remove_sources: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    remove_targets: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    def __post_init__(self) -> None:
+        if self.add_sources.shape != self.add_targets.shape:
+            raise GraphConstructionError("add arrays must be parallel")
+        if self.remove_sources.shape != self.remove_targets.shape:
+            raise GraphConstructionError("remove arrays must be parallel")
+
+    @property
+    def num_additions(self) -> int:
+        """Edges arriving in this batch."""
+        return int(self.add_sources.size)
+
+    @property
+    def num_removals(self) -> int:
+        """Edges leaving in this batch."""
+        return int(self.remove_sources.size)
+
+    @property
+    def size(self) -> int:
+        """Total update count."""
+        return self.num_additions + self.num_removals
+
+
+def edge_stream_from_graph(
+    graph: CSRGraph,
+    *,
+    initial_fraction: float = 0.5,
+    batches: int = 10,
+    churn: float = 0.0,
+    seed: SeedLike = None,
+):
+    """Replay a static graph as an edge stream (a standard evaluation trick).
+
+    Splits the edge set into an initial graph (``initial_fraction`` of edges)
+    plus ``batches`` arrival batches of the remainder.  With ``churn > 0``,
+    each batch also deletes that fraction of the initial edges (chosen
+    without replacement), exercising the removal path.
+
+    Returns ``(initial_graph, iterator of EdgeBatch)``.
+    """
+    if not 0.0 < initial_fraction < 1.0:
+        raise GraphConstructionError(
+            f"initial_fraction must be in (0, 1), got {initial_fraction}"
+        )
+    if batches < 1:
+        raise GraphConstructionError(f"batches must be >= 1, got {batches}")
+    if not 0.0 <= churn < 1.0:
+        raise GraphConstructionError(f"churn must be in [0, 1), got {churn}")
+    rng = ensure_rng(seed)
+
+    src, dst = graph.edge_endpoints()
+    mask = src < dst
+    src, dst = src[mask], dst[mask]
+    m = src.size
+    if m < 2:
+        raise GraphConstructionError("graph too small to stream")
+    order = rng.permutation(m)
+    initial_count = max(1, int(round(initial_fraction * m)))
+    initial_idx = order[:initial_count]
+    arriving_idx = order[initial_count:]
+
+    from repro.graph.builders import from_edges
+
+    initial = from_edges(
+        src[initial_idx], dst[initial_idx],
+        num_vertices=graph.num_vertices, symmetrize=True,
+    )
+
+    removable = initial_idx.copy()
+    rng.shuffle(removable)
+    removed_so_far = 0
+
+    def batches_iter() -> Iterator[EdgeBatch]:
+        nonlocal removed_so_far
+        chunks = np.array_split(arriving_idx, batches)
+        per_batch_removals = int(round(churn * initial_count / batches))
+        for chunk in chunks:
+            rem_slice = removable[
+                removed_so_far : removed_so_far + per_batch_removals
+            ]
+            removed_so_far += rem_slice.size
+            yield EdgeBatch(
+                add_sources=src[chunk].copy(),
+                add_targets=dst[chunk].copy(),
+                remove_sources=src[rem_slice].copy(),
+                remove_targets=dst[rem_slice].copy(),
+            )
+
+    return initial, batches_iter()

@@ -1,0 +1,22 @@
+"""Shared utilities: RNG handling, timers, validation and chunked parallelism."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import StageTimer, Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_square_sparse,
+)
+from repro.utils.parallel import chunk_ranges, parallel_map
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "StageTimer",
+    "check_fraction",
+    "check_positive",
+    "check_square_sparse",
+    "chunk_ranges",
+    "parallel_map",
+]

@@ -1,0 +1,28 @@
+"""Library logging.
+
+The library logs under the ``"repro"`` namespace and stays silent by
+default (a ``NullHandler``, per library convention) — applications opt in:
+
+>>> import logging
+>>> logging.getLogger("repro").setLevel(logging.DEBUG)
+>>> logging.basicConfig()
+
+Pipelines emit DEBUG lines at stage boundaries (sample counts, sparsifier
+sizes, matrix shapes), which is usually all that is needed to diagnose a
+misbehaving configuration without a debugger.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger for a library module (``name`` is typically ``__name__``)."""
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

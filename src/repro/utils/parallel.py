@@ -1,0 +1,67 @@
+"""Chunked parallel-map helpers — the Python analog of GBBS bulk parallelism.
+
+The paper's C++ substrate executes ``MapEdges`` style primitives with a
+work-stealing scheduler.  In Python the heavy lifting happens inside numpy
+kernels (which release the GIL), so the right shape is: split the index space
+into contiguous chunks, run a vectorized kernel per chunk, optionally on a
+thread pool.  ``parallel_map`` degrades gracefully to a serial loop when
+``workers <= 1``, which keeps unit tests deterministic and cheap.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def default_workers() -> int:
+    """Worker count used when callers pass ``workers=None``."""
+    return min(8, os.cpu_count() or 1)
+
+
+def chunk_ranges(total: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most ``chunks`` contiguous half-open ranges.
+
+    The first ``total % chunks`` ranges get one extra element so sizes differ
+    by at most one.  Empty ranges are never returned.
+
+    >>> chunk_ranges(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if chunks <= 0:
+        raise ValueError(f"chunks must be positive, got {chunks}")
+    chunks = min(chunks, total) or 1
+    base, extra = divmod(total, chunks)
+    ranges = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def parallel_map(
+    func: Callable[..., T],
+    argument_tuples: Sequence[tuple],
+    *,
+    workers: int = 1,
+) -> List[T]:
+    """Apply ``func(*args)`` for every tuple, serially or on a thread pool.
+
+    Results are returned in input order regardless of completion order.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(argument_tuples) <= 1:
+        return [func(*args) for args in argument_tuples]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(func, *args) for args in argument_tuples]
+        return [future.result() for future in futures]

@@ -1,0 +1,55 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in the library accepts a ``seed`` argument that may be an
+``int``, ``None`` or an already-constructed :class:`numpy.random.Generator`.
+:func:`ensure_rng` normalises the three forms so call sites stay short, and
+:func:`spawn_rngs` derives independent child generators for worker chunks (the
+Python analog of per-thread RNG streams in the paper's C++ implementation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, an
+        existing ``Generator`` (returned unchanged) or a ``SeedSequence``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Used by chunked bulk operations so that results are reproducible no matter
+    how work is split across chunks.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def derive_seed(seed: Optional[int], salt: int) -> Optional[int]:
+    """Deterministically combine ``seed`` with a ``salt`` (stage identifier)."""
+    if seed is None:
+        return None
+    return int(np.random.SeedSequence([seed, salt]).generate_state(1)[0])

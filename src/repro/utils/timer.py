@@ -1,0 +1,89 @@
+"""Wall-clock timers used for the paper's stage-breakdown experiments.
+
+Table 5 of the paper reports per-stage running time (sparsifier construction,
+randomized SVD, spectral propagation). :class:`StageTimer` collects named
+stage durations; :class:`Timer` is a simple context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named stage durations, preserving insertion order.
+
+    The same stage name may be timed multiple times; durations accumulate.
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    _order: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self.stages:
+                self._order.append(name)
+                self.stages[name] = 0.0
+            self.stages[name] += elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` for ``name`` without running a block."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        if name not in self.stages:
+            self._order.append(name)
+            self.stages[name] = 0.0
+        self.stages[name] += seconds
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stage durations."""
+        return sum(self.stages.values())
+
+    def as_rows(self) -> List[tuple]:
+        """Return ``(stage, seconds)`` rows in insertion order."""
+        return [(name, self.stages[name]) for name in self._order]
+
+    def format(self) -> str:
+        """Human-readable multi-line breakdown."""
+        if not self.stages:
+            return "(no stages recorded)"
+        width = max(len(name) for name in self._order)
+        lines = [f"{name:<{width}}  {self.stages[name]:>10.4f} s" for name in self._order]
+        lines.append(f"{'total':<{width}}  {self.total:>10.4f} s")
+        return "\n".join(lines)

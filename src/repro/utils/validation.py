@@ -1,0 +1,48 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_fraction(name: str, value: Number, *, inclusive: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]`` (or ``(0, 1)``)."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+
+
+def check_square_sparse(name: str, matrix: sp.spmatrix) -> None:
+    """Raise ``ValueError`` unless ``matrix`` is a square scipy sparse matrix."""
+    if not sp.issparse(matrix):
+        raise ValueError(f"{name} must be a scipy sparse matrix, got {type(matrix)!r}")
+    rows, cols = matrix.shape
+    if rows != cols:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")
+
+
+def as_int_array(name: str, values, dtype=np.int64) -> np.ndarray:
+    """Convert ``values`` to a 1-D integer array, validating losslessness."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    out = arr.astype(dtype, copy=False)
+    if arr.dtype.kind == "f" and not np.array_equal(out, arr):
+        raise ValueError(f"{name} contains non-integer values")
+    return out

@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import dcsbm_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    graph, _ = dcsbm_graph(120, 3, avg_degree=8, seed=0)
+    path = tmp_path / "graph.edges"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_embed_defaults(self):
+        args = build_parser().parse_args(["embed", "--dataset", "blogcatalog_like"])
+        assert args.method == "lightne"
+        assert args.dim == 128
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["embed", "--method", "magic"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["embed", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_info_on_file(self, edge_file, capsys):
+        assert main(["info", "--input", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "|V|" in out and "|E|" in out
+
+    def test_info_on_dataset(self, capsys):
+        assert main(["info", "--dataset", "blogcatalog_like"]) == 0
+        assert "labels" in capsys.readouterr().out
+
+    def test_embed_file(self, edge_file, tmp_path, capsys):
+        out_path = str(tmp_path / "vec.npy")
+        code = main(
+            [
+                "embed", "--input", edge_file, "--method", "lightne",
+                "--dim", "16", "--window", "3", "--output", out_path,
+            ]
+        )
+        assert code == 0
+        vectors = np.load(out_path)
+        assert vectors.shape[1] == 16
+        assert "sparsifier" in capsys.readouterr().out
+
+    def test_embed_missing_source(self):
+        with pytest.raises(SystemExit):
+            main(["embed"])
+
+    def test_embed_then_eval_nc(self, tmp_path, capsys):
+        out_path = str(tmp_path / "vec.npy")
+        main(
+            [
+                "embed", "--dataset", "blogcatalog_like", "--method", "prone",
+                "--dim", "16", "--output", out_path,
+            ]
+        )
+        code = main(
+            [
+                "eval-nc", "--dataset", "blogcatalog_like",
+                "--embeddings", out_path, "--train-ratio", "0.3",
+                "--repeats", "1",
+            ]
+        )
+        assert code == 0
+        assert "micro=" in capsys.readouterr().out
+
+    def test_eval_nc_needs_labels(self, edge_file, tmp_path):
+        vec = tmp_path / "v.npy"
+        np.save(vec, np.zeros((120, 4)))
+        with pytest.raises(SystemExit):
+            main(["eval-nc", "--input", edge_file, "--embeddings", str(vec)])
+
+    def test_eval_lp(self, edge_file, capsys):
+        code = main(
+            [
+                "eval-lp", "--input", edge_file, "--method", "line",
+                "--dim", "16", "--test-fraction", "0.05", "--negatives", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MRR" in out
+
+
+class TestFormats:
+    def test_metis_input(self, tmp_path, capsys):
+        from repro.graph.generators import dcsbm_graph
+        from repro.graph.io import write_metis
+
+        graph, _ = dcsbm_graph(60, 3, avg_degree=6, seed=0)
+        path = tmp_path / "g.metis"
+        write_metis(graph, path)  # may contain isolated-vertex blank lines
+        assert main(["info", "--input", str(path)]) == 0
+        assert "|V|" in capsys.readouterr().out
+
+    def test_csr_input(self, tmp_path, capsys):
+        from repro.graph.generators import dcsbm_graph
+        from repro.graph.io import save_csr
+
+        graph, _ = dcsbm_graph(60, 3, avg_degree=6, seed=0)
+        path = tmp_path / "g.npz"
+        save_csr(graph, path)
+        assert main(["info", "--input", str(path)]) == 0
+
+    def test_format_override(self, tmp_path, capsys):
+        path = tmp_path / "weird_extension.xyz"
+        path.write_text("0 1\n1 2\n")
+        assert main(["info", "--input", str(path), "--format", "edgelist"]) == 0
+
+    def test_adjacency_input(self, tmp_path):
+        path = tmp_path / "g.adj"
+        path.write_text("0 1 2\n1 2\n")
+        assert main(["info", "--input", str(path)]) == 0
+
+
+class TestNewMethods:
+    @pytest.mark.parametrize("method", ["node2vec", "grarep", "hope", "netmf-eigen"])
+    def test_embed_new_methods(self, method, edge_file, tmp_path):
+        out_path = str(tmp_path / "v.npy")
+        code = main(
+            ["embed", "--input", edge_file, "--method", method,
+             "--dim", "8", "--window", "2", "--output", out_path]
+        )
+        assert code == 0
+        assert np.load(out_path).shape == (120, 8)
+
+
+class TestStream:
+    def test_stream_subcommand(self, edge_file, tmp_path, capsys):
+        out_path = str(tmp_path / "s.npy")
+        code = main(
+            ["stream", "--input", edge_file, "--dim", "8", "--window", "2",
+             "--batches", "3", "--output", out_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refreshes" in out
+        assert np.load(out_path).shape == (120, 8)
+
+    def test_stream_with_churn(self, edge_file, tmp_path):
+        out_path = str(tmp_path / "s2.npy")
+        code = main(
+            ["stream", "--input", edge_file, "--dim", "8", "--batches", "2",
+             "--churn", "0.1", "--output", out_path]
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_prints_table(self, capsys):
+        code = main(
+            ["compare", "--dataset", "blogcatalog_like",
+             "--methods", "prone+,lightne", "--ratios", "0.3",
+             "--dim", "8", "--window", "2", "--repeats", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "micro@0.3" in out
+        assert "lightne" in out and "prone+" in out
+
+    def test_compare_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--methods", "lightne"])

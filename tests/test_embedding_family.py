@@ -1,0 +1,172 @@
+"""Tests for the extended NetMF-family baselines: node2vec, GraRep, HOPE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.grarep import GraRepParams, grarep_embedding
+from repro.embedding.hope import HOPEParams, hope_embedding, katz_decay_rate
+from repro.embedding.node2vec import (
+    Node2VecParams,
+    biased_walks,
+    node2vec_embedding,
+)
+from repro.errors import FactorizationError, SamplingError
+from repro.eval.node_classification import evaluate_node_classification
+from repro.graph.builders import from_edges
+
+
+def micro(vectors, labels, seed=1):
+    return evaluate_node_classification(
+        vectors, labels, 0.5, repeats=1, seed=seed
+    ).micro_f1
+
+
+class TestBiasedWalks:
+    def test_shape(self, er_graph):
+        walks = biased_walks(er_graph, 6, 2, seed=0)
+        assert walks.shape == (2 * er_graph.num_vertices, 7)
+
+    def test_consecutive_are_edges(self, er_graph):
+        walks = biased_walks(er_graph, 5, 1, seed=1)
+        for row in walks[:15]:
+            for a, b in zip(row[:-1], row[1:]):
+                assert a == b or er_graph.has_edge(int(a), int(b))
+
+    def test_low_p_increases_returns(self):
+        """p << 1 makes walks return to the previous vertex often."""
+        # A cycle where every move is return / non-return with equal degree.
+        n = 30
+        g = from_edges(np.arange(n), (np.arange(n) + 1) % n)
+
+        def return_rate(p):
+            walks = biased_walks(g, 12, 20, return_p=p, in_out_q=1.0, seed=3)
+            returns = walks[:, 2:] == walks[:, :-2]
+            return returns.mean()
+
+        assert return_rate(0.1) > return_rate(10.0) + 0.1
+
+    def test_high_q_stays_local(self):
+        """q >> 1 discourages outward moves (BFS-like behavior)."""
+        n = 40
+        g = from_edges(np.arange(n - 1), np.arange(1, n))  # path graph
+
+        def spread(q):
+            walks = biased_walks(g, 10, 10, return_p=1.0, in_out_q=q, seed=4)
+            return np.abs(walks[:, -1] - walks[:, 0]).mean()
+
+        assert spread(0.1) > spread(10.0)
+
+    def test_invalid_args(self, triangle):
+        with pytest.raises(SamplingError):
+            biased_walks(triangle, 0, 1)
+        with pytest.raises(SamplingError):
+            biased_walks(triangle, 3, 0)
+        with pytest.raises(SamplingError):
+            biased_walks(triangle, 3, 1, return_p=0.0)
+
+    def test_isolated_vertex_stays(self):
+        g = from_edges([0], [1], num_vertices=3)
+        walks = biased_walks(g, 5, 1, seed=0)
+        assert np.all(walks[2] == 2)
+
+
+class TestNode2Vec:
+    def test_shape_and_info(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        params = Node2VecParams(
+            dimension=16, walk_length=10, walks_per_vertex=3, epochs=1,
+            return_p=0.5, in_out_q=2.0,
+        )
+        r = node2vec_embedding(graph, params, seed=0)
+        assert r.vectors.shape == (graph.num_vertices, 16)
+        assert r.info["p"] == 0.5 and r.info["q"] == 2.0
+
+    def test_quality(self, sbm_bundle):
+        graph, labels = sbm_bundle
+        params = Node2VecParams(
+            dimension=16, walk_length=20, walks_per_vertex=8, epochs=2
+        )
+        r = node2vec_embedding(graph, params, seed=0)
+        assert micro(r.vectors, labels) > 0.6
+
+    def test_invalid_window(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        with pytest.raises(SamplingError):
+            node2vec_embedding(graph, Node2VecParams(dimension=8, window=0), 0)
+
+
+class TestGraRep:
+    def test_shape(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        r = grarep_embedding(graph, GraRepParams(dimension=16, steps=4), seed=0)
+        assert r.vectors.shape == (graph.num_vertices, 16)
+        assert r.info["steps"] == 4
+
+    def test_quality(self, sbm_bundle):
+        graph, labels = sbm_bundle
+        r = grarep_embedding(graph, GraRepParams(dimension=16, steps=2), seed=0)
+        assert micro(r.vectors, labels) > 0.6
+
+    def test_dimension_split(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        # 17 columns over 4 steps: last block absorbs the remainder.
+        r = grarep_embedding(graph, GraRepParams(dimension=17, steps=4), seed=0)
+        assert r.vectors.shape[1] == 17
+
+    def test_invalid_args(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        with pytest.raises(FactorizationError):
+            grarep_embedding(graph, GraRepParams(dimension=16, steps=0), 0)
+        with pytest.raises(FactorizationError):
+            grarep_embedding(graph, GraRepParams(dimension=2, steps=4), 0)
+
+
+class TestHOPE:
+    def test_katz_decay_rate_cycle(self):
+        # λ_max of a cycle's adjacency is 2.
+        n = 20
+        g = from_edges(np.arange(n), (np.arange(n) + 1) % n)
+        assert katz_decay_rate(g) == pytest.approx(2.0, abs=1e-3)
+
+    def test_auto_beta_converges(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        r = hope_embedding(graph, HOPEParams(dimension=16), seed=0)
+        assert np.isfinite(r.vectors).all()
+        assert r.info["beta"] * r.info["lambda_max"] < 1.0
+
+    def test_divergent_beta_rejected(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        lam = katz_decay_rate(graph)
+        with pytest.raises(FactorizationError):
+            hope_embedding(graph, HOPEParams(dimension=8, beta=2.0 / lam), 0)
+
+    def test_quality(self, sbm_bundle):
+        graph, labels = sbm_bundle
+        r = hope_embedding(graph, HOPEParams(dimension=16), seed=0)
+        assert micro(r.vectors, labels) > 0.6
+
+    def test_matches_dense_katz(self, triangle):
+        """The implicit operator must equal the dense truncated Katz sum."""
+        import scipy.sparse.linalg  # noqa: F401  (operator machinery)
+
+        beta = 0.2
+        r = hope_embedding(
+            triangle, HOPEParams(dimension=2, beta=beta, order=8), seed=0
+        )
+        a = triangle.adjacency().toarray()
+        katz = np.zeros_like(a)
+        power = np.eye(3)
+        for _ in range(8):
+            power = power @ (beta * a)
+            katz += power
+        sigma_exact = np.linalg.svd(katz, compute_uv=False)[:2]
+        gram = r.vectors.T @ r.vectors
+        sigma_ours = np.sort(np.diag(gram))[::-1]
+        np.testing.assert_allclose(sigma_ours, sigma_exact, rtol=0.05)
+
+    def test_invalid_order(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        with pytest.raises(FactorizationError):
+            hope_embedding(graph, HOPEParams(dimension=8, order=0), 0)

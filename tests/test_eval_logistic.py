@@ -1,0 +1,102 @@
+"""Tests for the one-vs-rest logistic regression trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.logistic import LogisticRegressionOVR
+
+
+@pytest.fixture
+def separable(rng):
+    """Two Gaussian blobs, linearly separable, two complementary labels."""
+    a = rng.standard_normal((50, 3)) + np.array([4.0, 0.0, 0.0])
+    b = rng.standard_normal((50, 3)) - np.array([4.0, 0.0, 0.0])
+    features = np.vstack([a, b])
+    labels = np.zeros((100, 2), dtype=bool)
+    labels[:50, 0] = True
+    labels[50:, 1] = True
+    return features, labels
+
+
+class TestFit:
+    def test_separable_accuracy(self, separable):
+        features, labels = separable
+        model = LogisticRegressionOVR().fit(features, labels)
+        scores = model.decision_function(features)
+        predictions = scores.argmax(axis=1)
+        truth = labels.argmax(axis=1)
+        assert (predictions == truth).mean() > 0.98
+
+    def test_probabilities_in_unit_interval(self, separable):
+        features, labels = separable
+        model = LogisticRegressionOVR().fit(features, labels)
+        probs = model.predict_proba(features)
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    def test_constant_label_column(self, rng):
+        features = rng.standard_normal((20, 2))
+        labels = np.zeros((20, 2), dtype=bool)
+        labels[:, 0] = True  # all-true and all-false columns
+        model = LogisticRegressionOVR().fit(features, labels)
+        scores = model.decision_function(features)
+        assert np.all(scores[:, 0] > scores[:, 1])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(EvaluationError):
+            LogisticRegressionOVR().decision_function(np.zeros((2, 2)))
+
+    def test_row_mismatch(self, rng):
+        with pytest.raises(EvaluationError):
+            LogisticRegressionOVR().fit(
+                rng.standard_normal((5, 2)), np.zeros((6, 2), bool)
+            )
+
+    def test_empty_training_set(self):
+        with pytest.raises(EvaluationError):
+            LogisticRegressionOVR().fit(np.zeros((0, 2)), np.zeros((0, 2), bool))
+
+    def test_negative_regularization(self):
+        with pytest.raises(EvaluationError):
+            LogisticRegressionOVR(regularization=-1.0)
+
+    def test_regularization_shrinks_weights(self, separable):
+        features, labels = separable
+        loose = LogisticRegressionOVR(regularization=0.001).fit(features, labels)
+        tight = LogisticRegressionOVR(regularization=100.0).fit(features, labels)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_1d_rejected(self, rng):
+        with pytest.raises(EvaluationError):
+            LogisticRegressionOVR().fit(rng.standard_normal(5), np.zeros((5, 1), bool))
+
+
+class TestTopK:
+    def test_counts_respected(self, separable):
+        features, labels = separable
+        model = LogisticRegressionOVR().fit(features, labels)
+        counts = np.full(features.shape[0], 1)
+        predictions = model.predict_top_k(features, counts)
+        np.testing.assert_array_equal(predictions.sum(axis=1), counts)
+
+    def test_counts_capped_at_num_labels(self, separable):
+        features, labels = separable
+        model = LogisticRegressionOVR().fit(features, labels)
+        counts = np.full(features.shape[0], 99)
+        predictions = model.predict_top_k(features, counts)
+        assert predictions.all()
+
+    def test_counts_shape_validated(self, separable):
+        features, labels = separable
+        model = LogisticRegressionOVR().fit(features, labels)
+        with pytest.raises(EvaluationError):
+            model.predict_top_k(features, np.array([1, 2]))
+
+    def test_top1_matches_argmax(self, separable):
+        features, labels = separable
+        model = LogisticRegressionOVR().fit(features, labels)
+        top1 = model.predict_top_k(features, np.ones(features.shape[0], dtype=int))
+        argmax = model.decision_function(features).argmax(axis=1)
+        np.testing.assert_array_equal(top1.argmax(axis=1), argmax)

@@ -1,0 +1,152 @@
+"""Tests for metrics against hand-computed cases and properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    auc_score,
+    f1_scores,
+    hits_at_k,
+    mean_rank,
+    mean_reciprocal_rank,
+    ranking_positions,
+    ranking_report,
+)
+
+
+class TestF1:
+    def test_perfect(self):
+        y = np.array([[1, 0], [0, 1]], dtype=bool)
+        micro, macro = f1_scores(y, y)
+        assert micro == 1.0 and macro == 1.0
+
+    def test_all_wrong(self):
+        y_true = np.array([[1, 0]], dtype=bool)
+        y_pred = np.array([[0, 1]], dtype=bool)
+        micro, macro = f1_scores(y_true, y_pred)
+        assert micro == 0.0 and macro == 0.0
+
+    def test_hand_computed(self):
+        # Label 0: tp=1, fp=1, fn=0 -> F1 = 2/3.
+        # Label 1: tp=1, fp=0, fn=1 -> F1 = 2/3.
+        y_true = np.array([[1, 1], [0, 1], [0, 0]], dtype=bool)
+        y_pred = np.array([[1, 1], [1, 0], [0, 0]], dtype=bool)
+        micro, macro = f1_scores(y_true, y_pred)
+        assert micro == pytest.approx(2 / 3)
+        assert macro == pytest.approx(2 / 3)
+
+    def test_micro_macro_differ_on_imbalance(self):
+        # Rare label predicted badly drags macro below micro.
+        y_true = np.zeros((10, 2), dtype=bool)
+        y_true[:, 0] = True
+        y_true[0, 1] = True
+        y_pred = np.zeros((10, 2), dtype=bool)
+        y_pred[:, 0] = True  # label 0 perfect, label 1 never predicted
+        micro, macro = f1_scores(y_true, y_pred)
+        assert micro > macro
+
+    def test_empty_label_column_zero(self):
+        y_true = np.array([[1, 0]], dtype=bool)
+        y_pred = np.array([[1, 0]], dtype=bool)
+        _, macro = f1_scores(y_true, y_pred)
+        assert macro == pytest.approx(0.5)  # label 1 contributes 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            f1_scores(np.zeros((2, 2), bool), np.zeros((3, 2), bool))
+
+    def test_requires_2d(self):
+        with pytest.raises(EvaluationError):
+            f1_scores(np.zeros(3, bool), np.zeros(3, bool))
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([1, 1, 0, 0], bool)
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_inverted(self):
+        labels = np.array([1, 1, 0, 0], bool)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 0.0
+
+    def test_ties_half_credit(self):
+        labels = np.array([1, 0], bool)
+        scores = np.array([0.5, 0.5])
+        assert auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_random_near_half(self, rng):
+        labels = rng.random(4000) < 0.5
+        scores = rng.random(4000)
+        assert abs(auc_score(labels, scores) - 0.5) < 0.05
+
+    def test_needs_both_classes(self):
+        with pytest.raises(EvaluationError):
+            auc_score(np.ones(3, bool), np.arange(3.0))
+
+    @given(st.integers(1, 30), st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_shift_invariance(self, n_pos, n_neg):
+        rng = np.random.default_rng(n_pos * 100 + n_neg)
+        labels = np.concatenate([np.ones(n_pos, bool), np.zeros(n_neg, bool)])
+        scores = rng.random(n_pos + n_neg)
+        a = auc_score(labels, scores)
+        b = auc_score(labels, scores + 10.0)
+        assert a == pytest.approx(b)
+
+
+class TestRanking:
+    def test_positions_simple(self):
+        positive = np.array([0.9, 0.1])
+        negative = np.array([[0.5, 0.3], [0.5, 0.3]])
+        ranks = ranking_positions(positive, negative)
+        np.testing.assert_allclose(ranks, [1.0, 3.0])
+
+    def test_positions_ties(self):
+        ranks = ranking_positions(np.array([0.5]), np.array([[0.5, 0.5]]))
+        assert ranks[0] == pytest.approx(2.0)  # 1 + 0 + 0.5*2
+
+    def test_mean_rank(self):
+        assert mean_rank(np.array([1.0, 3.0])) == 2.0
+
+    def test_mrr(self):
+        assert mean_reciprocal_rank(np.array([1.0, 2.0])) == pytest.approx(0.75)
+
+    def test_hits(self):
+        ranks = np.array([1.0, 5.0, 11.0])
+        assert hits_at_k(ranks, 1) == pytest.approx(1 / 3)
+        assert hits_at_k(ranks, 10) == pytest.approx(2 / 3)
+        assert hits_at_k(ranks, 100) == 1.0
+
+    def test_hits_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            hits_at_k(np.array([1.0]), 0)
+
+    def test_empty_rejected(self):
+        empty = np.empty(0)
+        for fn in (mean_rank, mean_reciprocal_rank):
+            with pytest.raises(EvaluationError):
+                fn(empty)
+
+    def test_report_keys(self):
+        report = ranking_report(np.array([1.0, 2.0]), ks=(1, 10))
+        assert set(report) == {"MR", "MRR", "HITS@1", "HITS@10"}
+
+    def test_bad_negative_shape(self):
+        with pytest.raises(EvaluationError):
+            ranking_positions(np.array([1.0]), np.array([1.0, 2.0]))
+
+    @given(st.integers(2, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_rank_bounds(self, num_neg):
+        rng = np.random.default_rng(num_neg)
+        positive = rng.random(10)
+        negative = rng.random((10, num_neg))
+        ranks = ranking_positions(positive, negative)
+        assert np.all(ranks >= 1.0) and np.all(ranks <= num_neg + 1)

@@ -1,0 +1,186 @@
+"""Tests for edge-list and binary CSR IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import from_edges
+from repro.graph.io import (
+    load_csr,
+    read_edge_list,
+    save_csr,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, er_graph):
+        path = tmp_path / "g.edges"
+        write_edge_list(er_graph, path)
+        again = read_edge_list(path)
+        assert again == er_graph
+
+    def test_round_trip_weighted(self, tmp_path, weighted_triangle):
+        path = tmp_path / "w.edges"
+        write_edge_list(weighted_triangle, path)
+        again = read_edge_list(path)
+        assert again == weighted_triangle
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "c.edges"
+        path.write_text("# comment\n\n% another\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_bad_token_count(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer_vertex(self, tmp_path):
+        path = tmp_path / "bad2.edges"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_bad_weight(self, tmp_path):
+        path = tmp_path / "bad3.edges"
+        path.write_text("0 1 zzz\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_mixed_weighted_rejected(self, tmp_path):
+        path = tmp_path / "mixed.edges"
+        path.write_text("0 1\n1 2 3.0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_num_vertices_override(self, tmp_path):
+        path = tmp_path / "n.edges"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_line_number_in_error(self, tmp_path):
+        path = tmp_path / "lineno.edges"
+        path.write_text("0 1\nbroken\n")
+        with pytest.raises(GraphFormatError, match=":2"):
+            read_edge_list(path)
+
+
+class TestBinaryCSR:
+    def test_round_trip(self, tmp_path, er_graph):
+        path = tmp_path / "g.csr.npz"
+        save_csr(er_graph, path)
+        assert load_csr(path) == er_graph
+
+    def test_round_trip_weighted(self, tmp_path, weighted_triangle):
+        path = tmp_path / "w.csr.npz"
+        save_csr(weighted_triangle, path)
+        assert load_csr(path) == weighted_triangle
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises((GraphFormatError, KeyError)):
+            load_csr(path)
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = from_edges([0], [1], num_vertices=7)
+        path = tmp_path / "iso.csr.npz"
+        save_csr(g, path)
+        assert load_csr(path).num_vertices == 7
+
+
+class TestMetis:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "g.metis"
+        path.write_text(text)
+        return path
+
+    def test_round_trip(self, tmp_path, er_graph):
+        from repro.graph.io import read_metis, write_metis
+
+        path = tmp_path / "g.metis"
+        write_metis(er_graph, path)
+        assert read_metis(path) == er_graph
+
+    def test_parse_simple(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        # Triangle in METIS: 3 vertices, 3 edges, 1-indexed neighbors.
+        path = self._write(tmp_path, "3 3\n2 3\n1 3\n1 2\n")
+        g = read_metis(path)
+        assert g.num_vertices == 3 and g.num_edges == 3
+
+    def test_comments_skipped(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = self._write(tmp_path, "% hello\n2 1\n2\n1\n")
+        assert read_metis(path).num_edges == 1
+
+    def test_missing_header(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = self._write(tmp_path, "")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_vertex_count_mismatch(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = self._write(tmp_path, "3 1\n2\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_out_of_range_neighbor(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = self._write(tmp_path, "2 1\n5\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_weighted_fmt_rejected(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = self._write(tmp_path, "2 1 001\n2 7\n1 7\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_isolated_vertex_blank_line(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = self._write(tmp_path, "3 1\n2\n1\n\n")
+        # The blank third line is a valid isolated vertex.
+        g = read_metis(path)
+        assert g.num_vertices == 3
+        assert g.degree(2) == 0
+
+
+class TestAdjacencyList:
+    def test_parse(self, tmp_path):
+        from repro.graph.io import read_adjacency_list
+
+        path = tmp_path / "g.adj"
+        path.write_text("# comment\n0 1 2\n1 2\n")
+        g = read_adjacency_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_merging_duplicate_mentions(self, tmp_path):
+        from repro.graph.io import read_adjacency_list
+
+        path = tmp_path / "g.adj"
+        path.write_text("0 1\n1 0\n")
+        assert read_adjacency_list(path).num_edges == 1
+
+    def test_bad_token(self, tmp_path):
+        from repro.graph.io import read_adjacency_list
+
+        path = tmp_path / "g.adj"
+        path.write_text("0 x\n")
+        with pytest.raises(GraphFormatError):
+            read_adjacency_list(path)

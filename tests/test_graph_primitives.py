@@ -1,0 +1,85 @@
+"""Tests for GBBS-style bulk primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.compression import compress_graph
+from repro.graph.primitives import (
+    count_edges_where,
+    edge_chunks,
+    edge_reduce,
+    map_edges,
+    map_vertices,
+)
+
+
+class TestEdgeChunks:
+    def test_each_edge_once(self, er_graph):
+        chunks = edge_chunks(er_graph, 4)
+        total = sum(src.size for src, _, _ in chunks)
+        assert total == er_graph.num_edges
+
+    def test_canonical_orientation(self, er_graph):
+        for src, dst, _ in edge_chunks(er_graph, 3):
+            assert np.all(src < dst)
+
+    def test_weights_carried(self, weighted_triangle):
+        chunks = edge_chunks(weighted_triangle, 1)
+        _, _, wts = chunks[0]
+        assert wts is not None and wts.size == 3
+
+    def test_unweighted_weights_none(self, triangle):
+        _, _, wts = edge_chunks(triangle, 1)[0]
+        assert wts is None
+
+    def test_compressed_graph_supported(self, er_graph):
+        cg = compress_graph(er_graph)
+        total = sum(src.size for src, _, _ in edge_chunks(cg, 2))
+        assert total == er_graph.num_edges
+
+
+class TestMapEdges:
+    def test_sum_of_endpoint_degrees(self, er_graph):
+        degrees = er_graph.degrees()
+
+        def kernel(src, dst, _):
+            return int(degrees[src].sum() + degrees[dst].sum())
+
+        single = sum(map_edges(er_graph, kernel, chunks=1))
+        chunked = sum(map_edges(er_graph, kernel, chunks=5))
+        threaded = sum(map_edges(er_graph, kernel, chunks=5, workers=3))
+        assert single == chunked == threaded
+
+    def test_chunk_count(self, er_graph):
+        results = map_edges(er_graph, lambda s, d, w: s.size, chunks=4)
+        assert len(results) == 4
+        assert sum(results) == er_graph.num_edges
+
+
+class TestMapVertices:
+    def test_covers_all_vertices(self, er_graph):
+        results = map_vertices(er_graph, lambda v: v.size, chunks=3)
+        assert sum(results) == er_graph.num_vertices
+
+    def test_vertex_values(self, triangle):
+        results = map_vertices(triangle, lambda v: int(v.sum()), chunks=1)
+        assert sum(results) == 3  # 0 + 1 + 2
+
+
+class TestReductions:
+    def test_edge_reduce_counts_edges(self, er_graph):
+        total = edge_reduce(er_graph, lambda s, d, w: s.size)
+        assert total == er_graph.num_edges
+
+    def test_count_edges_where(self, path4):
+        # Edges of the path: (0,1), (1,2), (2,3); those touching vertex 0: 1.
+        count = count_edges_where(path4, lambda s, d, w: s == 0)
+        assert count == 1
+
+    def test_count_all(self, er_graph):
+        count = count_edges_where(
+            er_graph, lambda s, d, w: np.ones(s.size, dtype=bool), chunks=3
+        )
+        assert count == er_graph.num_edges

@@ -1,0 +1,86 @@
+"""Tests for the implicit polynomial LinearOperator (NRP shortcut)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FactorizationError
+from repro.linalg.operators import polynomial_operator
+from repro.linalg.randomized_svd import randomized_svd
+
+
+@pytest.fixture
+def walk_matrix(rng):
+    a = rng.random((20, 20))
+    a = (a + a.T) / 2
+    np.fill_diagonal(a, 0.0)
+    d = a.sum(1)
+    return sp.csr_matrix(a / d[:, None])
+
+
+def explicit_polynomial(p, coefficients, right_scale=None):
+    dense = p.toarray()
+    n = dense.shape[0]
+    acc = np.zeros((n, n))
+    power = np.eye(n)
+    for c in coefficients:
+        acc += c * power
+        power = power @ dense
+    if right_scale is not None:
+        acc = acc @ np.diag(right_scale)
+    return acc
+
+
+class TestPolynomialOperator:
+    def test_matvec_matches_dense(self, walk_matrix, rng):
+        coeffs = [0.5, 0.3, 0.2]
+        op = polynomial_operator(walk_matrix, coeffs)
+        dense = explicit_polynomial(walk_matrix, coeffs)
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(op @ x, dense @ x, rtol=1e-10)
+
+    def test_matmat_matches_dense(self, walk_matrix, rng):
+        coeffs = [1.0, -0.5, 0.25, 0.1]
+        op = polynomial_operator(walk_matrix, coeffs)
+        dense = explicit_polynomial(walk_matrix, coeffs)
+        block = rng.standard_normal((20, 5))
+        np.testing.assert_allclose(op @ block, dense @ block, rtol=1e-10)
+
+    def test_rmatvec_matches_transpose(self, walk_matrix, rng):
+        coeffs = [0.2, 0.8]
+        op = polynomial_operator(walk_matrix, coeffs)
+        dense = explicit_polynomial(walk_matrix, coeffs)
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(op.rmatvec(x), dense.T @ x, rtol=1e-10)
+
+    def test_right_scale(self, walk_matrix, rng):
+        coeffs = [0.5, 0.5]
+        scale = rng.random(20) + 0.1
+        op = polynomial_operator(walk_matrix, coeffs, right_scale=scale)
+        dense = explicit_polynomial(walk_matrix, coeffs, right_scale=scale)
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(op @ x, dense @ x, rtol=1e-10)
+        np.testing.assert_allclose(op.rmatvec(x), dense.T @ x, rtol=1e-10)
+
+    def test_svd_through_operator(self, walk_matrix):
+        """The NRP trick: factorize the implicit operator without building it."""
+        coeffs = [0.15 * 0.85**r for r in range(5)]
+        op = polynomial_operator(walk_matrix, coeffs)
+        dense = explicit_polynomial(walk_matrix, coeffs)
+        _, sigma_op, _ = randomized_svd(op, 5, seed=0, power_iterations=3)
+        exact = np.linalg.svd(dense, compute_uv=False)[:5]
+        np.testing.assert_allclose(sigma_op, exact, rtol=0.05)
+
+    def test_empty_coefficients(self, walk_matrix):
+        with pytest.raises(FactorizationError):
+            polynomial_operator(walk_matrix, [])
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(FactorizationError):
+            polynomial_operator(sp.csr_matrix((2, 3)), [1.0])
+
+    def test_bad_scale_length(self, walk_matrix):
+        with pytest.raises(FactorizationError):
+            polynomial_operator(walk_matrix, [1.0], right_scale=np.ones(3))

@@ -1,0 +1,117 @@
+"""Tests for the Algorithm-3 randomized SVD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import FactorizationError
+from repro.linalg.randomized_svd import (
+    embedding_from_svd,
+    exact_reference_svd,
+    randomized_svd,
+)
+
+
+def low_rank_matrix(n, k, rank, rng, noise=0.0):
+    """Random matrix with a sharp rank-``rank`` structure."""
+    u = rng.standard_normal((n, rank))
+    v = rng.standard_normal((rank, k))
+    scales = np.linspace(10.0, 1.0, rank)
+    m = (u * scales) @ v
+    if noise:
+        m = m + noise * rng.standard_normal((n, k))
+    return m
+
+
+class TestAccuracy:
+    def test_exact_on_low_rank(self, rng):
+        m = low_rank_matrix(60, 40, 5, rng)
+        u, sigma, vt = randomized_svd(m, 5, seed=0)
+        reconstruction = (u * sigma) @ vt
+        assert np.linalg.norm(m - reconstruction) / np.linalg.norm(m) < 1e-8
+
+    def test_singular_values_match_exact(self, rng):
+        m = low_rank_matrix(50, 50, 8, rng, noise=0.01)
+        _, sigma, _ = randomized_svd(m, 8, seed=1, power_iterations=3)
+        _, exact, _ = exact_reference_svd(m, 8)
+        np.testing.assert_allclose(sigma, exact, rtol=0.02)
+
+    def test_sparse_input(self, rng):
+        dense = low_rank_matrix(40, 40, 4, rng)
+        dense[np.abs(dense) < 1.0] = 0.0
+        sparse = sp.csr_matrix(dense)
+        u, sigma, vt = randomized_svd(sparse, 4, seed=2, power_iterations=3)
+        _, exact, _ = exact_reference_svd(dense, 4)
+        np.testing.assert_allclose(sigma, exact, rtol=0.05)
+
+    def test_linear_operator_input(self, rng):
+        dense = low_rank_matrix(30, 30, 3, rng)
+        op = spla.aslinearoperator(dense)
+        _, sigma, _ = randomized_svd(op, 3, seed=3, power_iterations=2)
+        _, exact, _ = exact_reference_svd(dense, 3)
+        np.testing.assert_allclose(sigma, exact, rtol=0.05)
+
+    def test_rectangular(self, rng):
+        m = low_rank_matrix(80, 30, 5, rng)
+        u, sigma, vt = randomized_svd(m, 5, seed=4)
+        assert u.shape == (80, 5)
+        assert vt.shape == (5, 30)
+        reconstruction = (u * sigma) @ vt
+        assert np.linalg.norm(m - reconstruction) / np.linalg.norm(m) < 1e-6
+
+    def test_power_iterations_help(self, rng):
+        # Slowly decaying spectrum: subspace iteration should tighten sigma_1.
+        m = rng.standard_normal((100, 100))
+        _, exact, _ = exact_reference_svd(m, 5)
+
+        def err(q):
+            _, sigma, _ = randomized_svd(m, 5, seed=5, power_iterations=q)
+            return np.abs(sigma - exact).max()
+
+        assert err(4) <= err(0) + 1e-9
+
+    def test_orthonormal_u(self, rng):
+        m = low_rank_matrix(50, 50, 6, rng, noise=0.1)
+        u, _, _ = randomized_svd(m, 6, seed=6)
+        gram = u.T @ u
+        np.testing.assert_allclose(gram, np.eye(6), atol=1e-8)
+
+    def test_deterministic_given_seed(self, rng):
+        m = low_rank_matrix(30, 30, 4, rng)
+        a = randomized_svd(m, 4, seed=7)
+        b = randomized_svd(m, 4, seed=7)
+        np.testing.assert_allclose(a[1], b[1])
+        np.testing.assert_allclose(a[0], b[0])
+
+
+class TestValidation:
+    def test_rank_too_large(self):
+        with pytest.raises(FactorizationError):
+            randomized_svd(np.eye(4), 5)
+
+    def test_rank_zero(self):
+        with pytest.raises(FactorizationError):
+            randomized_svd(np.eye(4), 0)
+
+    def test_negative_oversampling(self):
+        with pytest.raises(FactorizationError):
+            randomized_svd(np.eye(4), 2, oversampling=-1)
+
+
+class TestEmbeddingFromSvd:
+    def test_scaling(self):
+        u = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sigma = np.array([4.0, 9.0])
+        x = embedding_from_svd(u, sigma)
+        np.testing.assert_allclose(x, [[2.0, 0.0], [0.0, 3.0]])
+
+    def test_negative_sigma_clipped(self):
+        x = embedding_from_svd(np.ones((1, 1)), np.array([-1.0]))
+        assert x[0, 0] == 0.0
+
+    def test_clip_option(self):
+        x = embedding_from_svd(np.ones((1, 1)), np.array([100.0]), clip=4.0)
+        assert x[0, 0] == pytest.approx(2.0)

@@ -1,0 +1,133 @@
+"""Package-surface tests: the public API is importable, documented and
+consistent with ``__all__``."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.graph",
+    "repro.graph.csr",
+    "repro.graph.compression",
+    "repro.graph.builders",
+    "repro.graph.generators",
+    "repro.graph.io",
+    "repro.graph.primitives",
+    "repro.graph.walks",
+    "repro.graph.algorithms",
+    "repro.graph.transforms",
+    "repro.graph.stats",
+    "repro.sparsifier",
+    "repro.sparsifier.path_sampling",
+    "repro.sparsifier.downsampling",
+    "repro.sparsifier.hashtable",
+    "repro.sparsifier.aggregation",
+    "repro.sparsifier.builder",
+    "repro.linalg",
+    "repro.linalg.randomized_svd",
+    "repro.linalg.spectral",
+    "repro.linalg.operators",
+    "repro.embedding",
+    "repro.embedding.lightne",
+    "repro.embedding.netsmf",
+    "repro.embedding.prone",
+    "repro.embedding.netmf",
+    "repro.embedding.line",
+    "repro.embedding.deepwalk",
+    "repro.embedding.node2vec",
+    "repro.embedding.pbg",
+    "repro.embedding.nrp",
+    "repro.embedding.grarep",
+    "repro.embedding.hope",
+    "repro.eval",
+    "repro.eval.metrics",
+    "repro.eval.logistic",
+    "repro.eval.node_classification",
+    "repro.eval.link_prediction",
+    "repro.datasets",
+    "repro.systems",
+    "repro.systems.cost",
+    "repro.systems.memory",
+    "repro.streaming",
+    "repro.analysis",
+    "repro.analysis.spectral",
+    "repro.experiments",
+    "repro.experiments.runner",
+    "repro.eval.retrieval",
+    "repro.utils",
+    "repro.cli",
+    "repro.errors",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_module_importable_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} is missing a module docstring"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    ["repro.graph", "repro.sparsifier", "repro.linalg", "repro.embedding",
+     "repro.eval", "repro.streaming", "repro.analysis"],
+)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+def test_public_functions_have_docstrings():
+    """Every public callable exported at the top level carries a docstring."""
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__, f"repro.{name} is missing a docstring"
+
+
+def test_embedding_params_are_frozen_dataclasses():
+    """Hyper-parameter containers are immutable (safe to share/reuse)."""
+    import dataclasses
+
+    from repro import (
+        DeepWalkSGDParams,
+        GraRepParams,
+        HOPEParams,
+        LightNEParams,
+        NRPParams,
+        NetSMFParams,
+        Node2VecParams,
+        PBGParams,
+        ProNEParams,
+    )
+
+    for cls in (LightNEParams, NetSMFParams, ProNEParams, DeepWalkSGDParams,
+                PBGParams, NRPParams, Node2VecParams, GraRepParams, HOPEParams):
+        assert dataclasses.is_dataclass(cls)
+        instance = cls()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            instance.dimension = 1
+
+
+def test_errors_inherit_base():
+    from repro import errors
+
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if inspect.isclass(obj) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name

@@ -1,0 +1,99 @@
+"""Cross-cutting property tests of the sampling → estimator chain.
+
+These go beyond per-module unit tests: they pin down distributional
+invariants of the whole Algorithm-2 pipeline under hypothesis-generated
+graphs and budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import from_edges
+from repro.sparsifier.builder import (
+    build_netmf_sparsifier,
+    sparsifier_to_netmf_matrix,
+)
+from repro.sparsifier.path_sampling import PathSamplingConfig, sample_sparsifier_edges
+
+
+def random_connected_graph(edge_pairs):
+    """Build a graph from hypothesis pairs, padded with a spanning path so
+    every vertex has positive degree."""
+    src = np.array([a for a, _ in edge_pairs], dtype=np.int64)
+    dst = np.array([b for _, b in edge_pairs], dtype=np.int64)
+    n = int(max(src.max(initial=0), dst.max(initial=0))) + 2
+    path_src = np.arange(n - 1)
+    path_dst = np.arange(1, n)
+    return from_edges(
+        np.concatenate([src, path_src]),
+        np.concatenate([dst, path_dst]),
+        num_vertices=n,
+    )
+
+
+graph_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)),
+    min_size=1,
+    max_size=40,
+).map(random_connected_graph)
+
+
+class TestSamplingInvariants:
+    @given(graph_strategy, st.integers(1, 4), st.integers(100, 800))
+    @settings(max_examples=25, deadline=None)
+    def test_endpoints_in_range(self, graph, window, budget):
+        config = PathSamplingConfig(window=window, num_samples=budget,
+                                    downsample=False)
+        u, v, w, draws = sample_sparsifier_edges(graph, config, seed=0)
+        if u.size:
+            assert u.min() >= 0 and u.max() < graph.num_vertices
+            assert v.min() >= 0 and v.max() < graph.num_vertices
+        assert u.size == draws
+        np.testing.assert_allclose(w, 1.0)
+
+    @given(graph_strategy, st.integers(200, 600))
+    @settings(max_examples=20, deadline=None)
+    def test_downsampled_weights_at_least_one(self, graph, budget):
+        config = PathSamplingConfig(window=2, num_samples=budget,
+                                    downsample=True)
+        _, _, w, _ = sample_sparsifier_edges(graph, config, seed=1)
+        if w.size:
+            assert np.all(w >= 1.0 - 1e-12)
+
+    @given(graph_strategy, st.integers(200, 800))
+    @settings(max_examples=20, deadline=None)
+    def test_counts_mass_equals_weights(self, graph, budget):
+        """The aggregated count matrix holds exactly the sampled weights."""
+        config = PathSamplingConfig(window=2, num_samples=budget,
+                                    downsample=True)
+        result = build_netmf_sparsifier(graph, config, seed=2)
+        u, v, w, draws = sample_sparsifier_edges(graph, config, seed=2)
+        assert result.counts.sum() == pytest.approx(w.sum())
+        assert result.num_draws == draws
+
+
+class TestEstimatorInvariants:
+    @given(graph_strategy, st.integers(300, 900))
+    @settings(max_examples=15, deadline=None)
+    def test_matrix_symmetric_nonnegative(self, graph, budget):
+        config = PathSamplingConfig(window=2, num_samples=budget,
+                                    downsample=False)
+        result = build_netmf_sparsifier(graph, config, seed=3)
+        matrix = sparsifier_to_netmf_matrix(graph, result)
+        assert matrix.shape == (graph.num_vertices,) * 2
+        assert matrix.nnz == 0 or matrix.data.min() >= 0.0
+        asym = matrix - matrix.T
+        assert asym.nnz == 0 or np.abs(asym.data).max() < 1e-9
+
+    @given(graph_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_sparsifier(self, graph):
+        config = PathSamplingConfig(window=3, num_samples=400, downsample=True)
+        a = build_netmf_sparsifier(graph, config, seed=7)
+        b = build_netmf_sparsifier(graph, config, seed=7)
+        assert (a.counts != b.counts).nnz == 0
+        assert a.num_draws == b.num_draws

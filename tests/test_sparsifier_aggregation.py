@@ -1,0 +1,133 @@
+"""Tests: all three aggregation strategies agree with each other."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsifier.aggregation import aggregate_dict, aggregate_hash, aggregate_sort
+
+
+def _canon(triple):
+    rows, cols, values = triple
+    order = np.lexsort((cols, rows))
+    return rows[order], cols[order], values[order]
+
+
+ALL = [aggregate_dict, aggregate_sort, aggregate_hash]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("aggregate", ALL)
+    def test_simple_case(self, aggregate):
+        rows = np.array([0, 0, 1])
+        cols = np.array([1, 1, 2])
+        values = np.array([1.0, 2.0, 4.0])
+        r, c, v = _canon(aggregate(rows, cols, values, n=5))
+        np.testing.assert_array_equal(r, [0, 1])
+        np.testing.assert_array_equal(c, [1, 2])
+        np.testing.assert_allclose(v, [3.0, 4.0])
+
+    @pytest.mark.parametrize("aggregate", ALL)
+    def test_empty(self, aggregate):
+        empty = np.empty(0, dtype=np.int64)
+        r, c, v = aggregate(empty, empty, np.empty(0), n=4)
+        assert r.size == c.size == v.size == 0
+
+    def test_random_agreement(self, rng):
+        n = 40
+        rows = rng.integers(0, n, size=3000)
+        cols = rng.integers(0, n, size=3000)
+        values = rng.random(3000)
+        reference = _canon(aggregate_dict(rows, cols, values, n))
+        for aggregate in (aggregate_sort, aggregate_hash):
+            got = _canon(aggregate(rows, cols, values, n))
+            np.testing.assert_array_equal(got[0], reference[0])
+            np.testing.assert_array_equal(got[1], reference[1])
+            np.testing.assert_allclose(got[2], reference[2])
+
+    def test_hash_batching(self, rng):
+        n = 20
+        rows = rng.integers(0, n, size=1000)
+        cols = rng.integers(0, n, size=1000)
+        values = np.ones(1000)
+        small = _canon(aggregate_hash(rows, cols, values, n, batch_size=37))
+        big = _canon(aggregate_hash(rows, cols, values, n, batch_size=10**6))
+        np.testing.assert_allclose(small[2], big[2])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_agreement(self, pairs):
+        rows = np.array([r for r, _ in pairs], dtype=np.int64)
+        cols = np.array([c for _, c in pairs], dtype=np.int64)
+        values = np.ones(rows.size)
+        reference = _canon(aggregate_dict(rows, cols, values, 16))
+        for aggregate in (aggregate_sort, aggregate_hash):
+            got = _canon(aggregate(rows, cols, values, 16))
+            np.testing.assert_array_equal(got[0], reference[0])
+            np.testing.assert_allclose(got[2], reference[2])
+
+    @pytest.mark.parametrize("aggregate", ALL)
+    def test_parallel_array_validation(self, aggregate):
+        with pytest.raises(ValueError):
+            aggregate(np.array([0]), np.array([0, 1]), np.array([1.0]), n=3)
+
+
+class TestHistogramAggregation:
+    """The per-processor-lists + sparse-histogram strategy (§4.2 alt #1)."""
+
+    def test_matches_dict(self, rng):
+        from repro.sparsifier.aggregation import aggregate_histogram
+
+        rows = rng.integers(0, 30, size=2000)
+        cols = rng.integers(0, 30, size=2000)
+        values = rng.random(2000)
+        reference = _canon(aggregate_dict(rows, cols, values, 30))
+        got = _canon(aggregate_histogram(rows, cols, values, 30))
+        np.testing.assert_array_equal(got[0], reference[0])
+        np.testing.assert_array_equal(got[1], reference[1])
+        np.testing.assert_allclose(got[2], reference[2])
+
+    def test_partition_count_irrelevant(self, rng):
+        from repro.sparsifier.aggregation import aggregate_histogram
+
+        rows = rng.integers(0, 10, size=300)
+        cols = rng.integers(0, 10, size=300)
+        values = np.ones(300)
+        a = _canon(aggregate_histogram(rows, cols, values, 10, num_partitions=1))
+        b = _canon(aggregate_histogram(rows, cols, values, 10, num_partitions=16))
+        np.testing.assert_allclose(a[2], b[2])
+
+    def test_more_partitions_than_samples(self):
+        from repro.sparsifier.aggregation import aggregate_histogram
+
+        r, c, v = aggregate_histogram(
+            np.array([0]), np.array([1]), np.array([2.0]), 4, num_partitions=8
+        )
+        assert r.size == 1 and v[0] == 2.0
+
+    def test_empty(self):
+        from repro.sparsifier.aggregation import aggregate_histogram
+
+        empty = np.empty(0, dtype=np.int64)
+        r, c, v = aggregate_histogram(empty, empty, np.empty(0), 4)
+        assert r.size == 0
+
+    def test_invalid_partitions(self):
+        from repro.sparsifier.aggregation import aggregate_histogram
+
+        with pytest.raises(ValueError):
+            aggregate_histogram(
+                np.array([0]), np.array([0]), np.array([1.0]), 2, num_partitions=0
+            )

@@ -1,0 +1,157 @@
+"""Tests for the sparsifier → NetMF-matrix estimator.
+
+The central correctness property: the sparsified matrix converges to the
+dense NetMF matrix (Eq. 1) as the sample budget grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.embedding.netmf import netmf_matrix_dense
+from repro.errors import SamplingError
+from repro.graph.generators import dcsbm_graph, erdos_renyi_graph
+from repro.sparsifier.builder import (
+    SparsifierResult,
+    build_netmf_sparsifier,
+    sparsifier_to_netmf_matrix,
+    trunc_log,
+)
+from repro.sparsifier.path_sampling import PathSamplingConfig
+from repro.utils.timer import StageTimer
+
+
+class TestTruncLog:
+    def test_values(self):
+        m = sp.csr_matrix(np.array([[0.0, 0.5], [np.e, np.e**2]]))
+        out = trunc_log(m).toarray()
+        np.testing.assert_allclose(out, [[0.0, 0.0], [1.0, 2.0]])
+
+    def test_eliminates_sub_one_entries(self):
+        m = sp.csr_matrix(np.array([[0.9, 2.0]]))
+        out = trunc_log(m)
+        assert out.nnz == 1
+
+    def test_input_not_mutated(self):
+        m = sp.csr_matrix(np.array([[np.e]]))
+        trunc_log(m)
+        assert m[0, 0] == pytest.approx(np.e)
+
+
+class TestBuilder:
+    def test_counts_shape_and_mass(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=4000, downsample=False)
+        result = build_netmf_sparsifier(er_graph, config, seed=0)
+        n = er_graph.num_vertices
+        assert result.counts.shape == (n, n)
+        assert result.counts.sum() == pytest.approx(result.num_draws)
+
+    def test_downsampled_mass_preserved_in_expectation(self, er_graph):
+        config = PathSamplingConfig(
+            window=3, num_samples=30_000, downsample=True, downsample_constant=1.0
+        )
+        result = build_netmf_sparsifier(er_graph, config, seed=1)
+        assert result.counts.sum() == pytest.approx(result.num_draws, rel=0.1)
+
+    def test_timer_records_stage(self, er_graph):
+        timer = StageTimer()
+        config = PathSamplingConfig(window=2, num_samples=500, downsample=False)
+        build_netmf_sparsifier(er_graph, config, seed=2, timer=timer)
+        assert "sparsifier" in timer.stages
+
+    def test_aggregators_agree(self, er_graph):
+        config = PathSamplingConfig(window=2, num_samples=2000, downsample=False)
+        a = build_netmf_sparsifier(er_graph, config, seed=3, aggregator="hash")
+        b = build_netmf_sparsifier(er_graph, config, seed=3, aggregator="sort")
+        assert (a.counts != b.counts).nnz == 0
+
+    def test_unknown_aggregator(self, er_graph):
+        config = PathSamplingConfig(window=2, num_samples=100)
+        with pytest.raises(SamplingError):
+            build_netmf_sparsifier(er_graph, config, aggregator="wat")
+
+    def test_nnz_property(self, er_graph):
+        config = PathSamplingConfig(window=2, num_samples=1000, downsample=False)
+        result = build_netmf_sparsifier(er_graph, config, seed=4)
+        assert result.nnz == result.counts.nnz
+
+
+class TestEstimator:
+    def test_converges_to_dense_netmf(self):
+        """More samples -> closer to Eq. (1); correlation should be high."""
+        g, _ = dcsbm_graph(60, 3, avg_degree=10, seed=0)
+        window = 3
+        exact = netmf_matrix_dense(g, window=window)
+
+        config = PathSamplingConfig(
+            window=window,
+            num_samples=PathSamplingConfig.samples_for_multiplier(g, window, 50),
+            downsample=False,
+        )
+        result = build_netmf_sparsifier(g, config, seed=0)
+        approx = sparsifier_to_netmf_matrix(g, result).toarray()
+
+        mask = (exact > 0) | (approx > 0)
+        correlation = np.corrcoef(exact[mask], approx[mask])[0, 1]
+        assert correlation > 0.9
+        # Magnitudes should agree too, not just order.
+        assert np.abs(exact[mask] - approx[mask]).mean() < 0.5
+
+    def test_more_samples_less_error(self):
+        g = erdos_renyi_graph(50, 0.2, seed=1)
+        window = 2
+        exact = netmf_matrix_dense(g, window=window)
+
+        def error(multiplier, seed):
+            config = PathSamplingConfig(
+                window=window,
+                num_samples=PathSamplingConfig.samples_for_multiplier(
+                    g, window, multiplier
+                ),
+                downsample=False,
+            )
+            result = build_netmf_sparsifier(g, config, seed=seed)
+            approx = sparsifier_to_netmf_matrix(g, result).toarray()
+            return np.linalg.norm(exact - approx)
+
+        coarse = np.mean([error(1, s) for s in range(3)])
+        fine = np.mean([error(40, s) for s in range(3)])
+        assert fine < coarse
+
+    def test_downsampling_keeps_estimator_close(self):
+        g = erdos_renyi_graph(50, 0.3, seed=2)  # dense enough to downsample
+        window = 2
+        exact = netmf_matrix_dense(g, window=window)
+        config = PathSamplingConfig(
+            window=window,
+            num_samples=PathSamplingConfig.samples_for_multiplier(g, window, 80),
+            downsample=True,
+        )
+        result = build_netmf_sparsifier(g, config, seed=3)
+        approx = sparsifier_to_netmf_matrix(g, result).toarray()
+        mask = (exact > 0) | (approx > 0)
+        correlation = np.corrcoef(exact[mask], approx[mask])[0, 1]
+        assert correlation > 0.8
+
+    def test_symmetry(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=5000, downsample=False)
+        result = build_netmf_sparsifier(er_graph, config, seed=4)
+        matrix = sparsifier_to_netmf_matrix(er_graph, result)
+        assert np.abs((matrix - matrix.T)).max() < 1e-9
+
+    def test_empty_draws_rejected(self, er_graph):
+        fake = SparsifierResult(
+            counts=sp.csr_matrix((er_graph.num_vertices, er_graph.num_vertices)),
+            num_draws=0,
+            window=2,
+        )
+        with pytest.raises(SamplingError):
+            sparsifier_to_netmf_matrix(er_graph, fake)
+
+    def test_bad_negative_samples(self, er_graph):
+        config = PathSamplingConfig(window=2, num_samples=100, downsample=False)
+        result = build_netmf_sparsifier(er_graph, config, seed=5)
+        with pytest.raises(SamplingError):
+            sparsifier_to_netmf_matrix(er_graph, result, negative_samples=0)

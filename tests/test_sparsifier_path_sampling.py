@@ -1,0 +1,165 @@
+"""Tests for PathSampling (Algo 1) and per-edge downsampled sampling (Algo 2).
+
+Includes the key distributional test: PathSampling endpoint pairs follow the
+``r``-step walk-matrix law ``P(x, y) = A_r(x, y) / vol(G)`` derived in the
+builder's docstring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph.builders import from_edges
+from repro.graph.compression import compress_graph
+from repro.graph.generators import erdos_renyi_graph
+from repro.sparsifier.path_sampling import (
+    PathSamplingConfig,
+    _per_edge_sample_counts,
+    path_sample_pairs,
+    sample_sparsifier_edges,
+)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PathSamplingConfig(window=5, num_samples=100)
+        assert config.downsample is True
+
+    def test_invalid_window(self):
+        with pytest.raises(SamplingError):
+            PathSamplingConfig(window=0)
+
+    def test_invalid_samples(self):
+        with pytest.raises(SamplingError):
+            PathSamplingConfig(num_samples=-5)
+
+    def test_multiplier_helper(self, er_graph):
+        m = er_graph.num_edges
+        assert PathSamplingConfig.samples_for_multiplier(er_graph, 10, 2.0) == 20 * m
+
+
+class TestPerEdgeCounts:
+    def test_expectation(self):
+        rng = np.random.default_rng(0)
+        m, target = 50, 500
+        totals = [_per_edge_sample_counts(m, target, rng).sum() for _ in range(200)]
+        assert np.mean(totals) == pytest.approx(target, rel=0.05)
+
+    def test_exact_when_divisible(self):
+        rng = np.random.default_rng(1)
+        counts = _per_edge_sample_counts(10, 100, rng)
+        np.testing.assert_array_equal(counts, np.full(10, 10))
+
+    def test_fractional_case_bounds(self):
+        rng = np.random.default_rng(2)
+        counts = _per_edge_sample_counts(10, 15, rng)
+        assert np.all((counts == 1) | (counts == 2))
+
+
+class TestPathSamplePairs:
+    def test_length_one_returns_seed(self, triangle):
+        u, v = path_sample_pairs(
+            triangle, np.array([0]), np.array([1]), np.array([1]), seed=0
+        )
+        assert u[0] == 0 and v[0] == 1
+
+    def test_endpoints_valid_vertices(self, er_graph, rng):
+        src, dst = er_graph.edge_endpoints()
+        take = rng.choice(src.size, 100)
+        lengths = rng.integers(1, 6, size=100)
+        u, v = path_sample_pairs(er_graph, src[take], dst[take], lengths, rng)
+        assert u.min() >= 0 and u.max() < er_graph.num_vertices
+        assert v.min() >= 0 and v.max() < er_graph.num_vertices
+
+    def test_invalid_lengths(self, triangle):
+        with pytest.raises(SamplingError):
+            path_sample_pairs(triangle, np.array([0]), np.array([1]), np.array([0]))
+
+    def test_parallel_arrays(self, triangle):
+        with pytest.raises(SamplingError):
+            path_sample_pairs(triangle, np.array([0, 1]), np.array([1]), np.array([1]))
+
+    def test_distribution_matches_walk_matrix(self):
+        """P(pair = (x, y)) should equal A_r(x, y) / vol(G) for fixed r."""
+        g = from_edges([0, 0, 1], [1, 2, 2])  # triangle-ish with asymmetry
+        n = g.num_vertices
+        r = 2
+        adjacency = g.adjacency().toarray()
+        degrees = adjacency.sum(1)
+        walk = adjacency / degrees[:, None]
+        a_r = adjacency @ np.linalg.matrix_power(walk, r - 1)
+        expected = a_r / g.volume
+
+        rng = np.random.default_rng(0)
+        src, dst = g.edge_endpoints()
+        mask = src < dst
+        src, dst = src[mask], dst[mask]
+        draws = 40_000
+        seeds = rng.integers(0, src.size, size=draws)
+        flip = rng.random(draws) < 0.5
+        s_u = np.where(flip, dst[seeds], src[seeds])
+        s_v = np.where(flip, src[seeds], dst[seeds])
+        u, v = path_sample_pairs(g, s_u, s_v, np.full(draws, r), rng)
+        observed = np.zeros((n, n))
+        np.add.at(observed, (u, v), 1.0 / draws)
+        np.testing.assert_allclose(observed, expected, atol=0.02)
+
+
+class TestSampleSparsifierEdges:
+    def test_draw_count_near_target(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=5000, downsample=False)
+        u, v, w, draws = sample_sparsifier_edges(er_graph, config, seed=0)
+        assert u.size == draws
+        assert abs(draws - 5000) < 500
+
+    def test_no_downsample_unit_weights(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=1000, downsample=False)
+        _, _, w, _ = sample_sparsifier_edges(er_graph, config, seed=1)
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_downsample_reduces_output(self):
+        g = erdos_renyi_graph(100, 0.4, seed=3)  # dense: m >> n
+        base = PathSamplingConfig(window=3, num_samples=20_000, downsample=False)
+        down = PathSamplingConfig(
+            window=3, num_samples=20_000, downsample=True, downsample_constant=1.0
+        )
+        u0, _, _, _ = sample_sparsifier_edges(g, base, seed=4)
+        u1, _, w1, _ = sample_sparsifier_edges(g, down, seed=4)
+        assert u1.size < u0.size * 0.6
+        assert np.all(w1 >= 1.0)  # weights are 1/p_e >= 1
+
+    def test_downsample_preserves_total_weight(self):
+        g = erdos_renyi_graph(80, 0.3, seed=5)
+        target = 30_000
+        down = PathSamplingConfig(
+            window=2, num_samples=target, downsample=True, downsample_constant=0.5
+        )
+        _, _, w, draws = sample_sparsifier_edges(g, down, seed=6)
+        # E[sum of kept weights] = number of draws.
+        assert w.sum() == pytest.approx(draws, rel=0.1)
+
+    def test_compressed_graph_input(self, er_graph):
+        cg = compress_graph(er_graph)
+        config = PathSamplingConfig(window=3, num_samples=500, downsample=False)
+        u, v, w, draws = sample_sparsifier_edges(cg, config, seed=7)
+        assert u.size == draws
+
+    def test_empty_graph_rejected(self):
+        g = from_edges([], [], num_vertices=3)
+        config = PathSamplingConfig(window=2, num_samples=10)
+        with pytest.raises(SamplingError):
+            sample_sparsifier_edges(g, config, seed=0)
+
+    def test_zero_samples_rejected(self, triangle):
+        config = PathSamplingConfig(window=2, num_samples=0)
+        with pytest.raises(SamplingError):
+            sample_sparsifier_edges(triangle, config, seed=0)
+
+    def test_batching_equivalence_in_size(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=2000, downsample=False)
+        u1, _, _, d1 = sample_sparsifier_edges(er_graph, config, seed=8, batch_size=100)
+        u2, _, _, d2 = sample_sparsifier_edges(er_graph, config, seed=8, batch_size=10**6)
+        assert d1 == d2  # draw counts are pre-batching, hence identical
+        assert u1.size == u2.size

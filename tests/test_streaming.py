@@ -1,0 +1,188 @@
+"""Tests for the streaming/dynamic embedding extension (paper §6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.lightne import LightNEParams
+from repro.errors import GraphConstructionError
+from repro.graph.generators import dcsbm_graph
+from repro.streaming import (
+    DynamicEmbedder,
+    EdgeBatch,
+    RefreshPolicy,
+    edge_stream_from_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def full_graph():
+    graph, labels = dcsbm_graph(150, 3, avg_degree=10, mixing=0.1, seed=9)
+    return graph, labels
+
+
+PARAMS = LightNEParams(dimension=8, window=2, sample_multiplier=2, propagate=False)
+
+
+class TestEdgeBatch:
+    def test_sizes(self):
+        batch = EdgeBatch(np.array([0, 1]), np.array([2, 3]))
+        assert batch.num_additions == 2
+        assert batch.num_removals == 0
+        assert batch.size == 2
+
+    def test_parallel_validation(self):
+        with pytest.raises(GraphConstructionError):
+            EdgeBatch(np.array([0]), np.array([1, 2]))
+
+    def test_removals(self):
+        batch = EdgeBatch(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.array([0]), np.array([1]),
+        )
+        assert batch.num_removals == 1
+
+
+class TestEdgeStream:
+    def test_initial_plus_batches_cover_graph(self, full_graph):
+        graph, _ = full_graph
+        initial, batches = edge_stream_from_graph(
+            graph, initial_fraction=0.6, batches=4, seed=0
+        )
+        total = initial.num_edges + sum(b.num_additions for b in batches)
+        assert total == graph.num_edges
+
+    def test_batch_count(self, full_graph):
+        graph, _ = full_graph
+        _, batches = edge_stream_from_graph(graph, batches=7, seed=1)
+        assert len(list(batches)) == 7
+
+    def test_churn_produces_removals(self, full_graph):
+        graph, _ = full_graph
+        _, batches = edge_stream_from_graph(
+            graph, initial_fraction=0.5, batches=3, churn=0.2, seed=2
+        )
+        assert sum(b.num_removals for b in batches) > 0
+
+    def test_vertex_count_preserved(self, full_graph):
+        graph, _ = full_graph
+        initial, _ = edge_stream_from_graph(graph, seed=3)
+        assert initial.num_vertices == graph.num_vertices
+
+    def test_invalid_args(self, full_graph):
+        graph, _ = full_graph
+        with pytest.raises(GraphConstructionError):
+            edge_stream_from_graph(graph, initial_fraction=0.0)
+        with pytest.raises(GraphConstructionError):
+            edge_stream_from_graph(graph, batches=0)
+        with pytest.raises(GraphConstructionError):
+            edge_stream_from_graph(graph, churn=1.0)
+
+    def test_deterministic(self, full_graph):
+        graph, _ = full_graph
+        a_init, a_batches = edge_stream_from_graph(graph, seed=5)
+        b_init, b_batches = edge_stream_from_graph(graph, seed=5)
+        assert a_init == b_init
+        for x, y in zip(a_batches, b_batches):
+            np.testing.assert_array_equal(x.add_sources, y.add_sources)
+
+
+class TestRefreshPolicy:
+    def test_fraction_trigger(self):
+        policy = RefreshPolicy(max_pending_fraction=0.1, max_pending_updates=10**9)
+        assert policy.should_refresh(pending=11, current_edges=100)
+        assert not policy.should_refresh(pending=5, current_edges=100)
+
+    def test_absolute_trigger(self):
+        policy = RefreshPolicy(max_pending_fraction=0.99, max_pending_updates=3)
+        assert policy.should_refresh(pending=3, current_edges=10**6)
+
+    def test_zero_pending_never_refreshes(self):
+        policy = RefreshPolicy(0.0, 1)
+        assert not policy.should_refresh(pending=0, current_edges=10)
+
+
+class TestDynamicEmbedder:
+    def test_initial_embedding_exists(self, full_graph):
+        graph, _ = full_graph
+        initial, _ = edge_stream_from_graph(graph, seed=0)
+        embedder = DynamicEmbedder(initial, PARAMS, seed=0)
+        assert embedder.vectors.shape == (graph.num_vertices, PARAMS.dimension)
+        assert not embedder.is_stale
+
+    def test_apply_accumulates_until_policy_fires(self, full_graph):
+        graph, _ = full_graph
+        initial, batches = edge_stream_from_graph(graph, batches=10, seed=0)
+        embedder = DynamicEmbedder(
+            initial, PARAMS,
+            policy=RefreshPolicy(max_pending_fraction=0.5,
+                                 max_pending_updates=10**9),
+            seed=0,
+        )
+        refreshed_flags = [embedder.apply(b) for b in batches]
+        # With a loose policy, not every batch refreshes, but at least one
+        # eventually does (50% of edges arrive over the stream).
+        assert any(refreshed_flags)
+        assert not all(refreshed_flags)
+
+    def test_refresh_on_every_batch_default(self, full_graph):
+        graph, _ = full_graph
+        initial, batches = edge_stream_from_graph(graph, batches=3, seed=1)
+        embedder = DynamicEmbedder(initial, PARAMS, seed=0)
+        for batch in batches:
+            assert embedder.apply(batch) is True
+        assert embedder.refresh_count == 3
+        assert not embedder.is_stale
+
+    def test_graph_tracks_updates(self, full_graph):
+        graph, _ = full_graph
+        initial, batches = edge_stream_from_graph(graph, batches=2, seed=2)
+        embedder = DynamicEmbedder(initial, PARAMS, seed=0)
+        for batch in batches:
+            embedder.apply(batch)
+        assert embedder.graph.num_edges == graph.num_edges
+
+    def test_drift_recorded_and_bounded(self, full_graph):
+        graph, _ = full_graph
+        initial, batches = edge_stream_from_graph(graph, batches=4, seed=3)
+        embedder = DynamicEmbedder(initial, PARAMS, seed=0)
+        for batch in batches:
+            embedder.apply(batch)
+        assert len(embedder.drift_history) == 4
+        # Aligned refreshes on slowly-changing graphs should not be wildly
+        # far apart (drift is normalized by embedding scale).
+        assert all(np.isfinite(d) for d in embedder.drift_history)
+
+    def test_alignment_reduces_drift(self, full_graph):
+        """Procrustes alignment must beat the unaligned distance."""
+        from repro.embedding.lightne import lightne_embedding
+        from repro.streaming.dynamic import _procrustes_align
+
+        graph, _ = full_graph
+        a = lightne_embedding(graph, PARAMS, seed=0).vectors
+        b = lightne_embedding(graph, PARAMS, seed=1).vectors
+        aligned, drift = _procrustes_align(a, b)
+        scale = np.linalg.norm(a, axis=1).mean()
+        unaligned = np.linalg.norm(b - a, axis=1).mean() / scale
+        assert drift <= unaligned + 1e-9
+
+    def test_quality_maintained_through_stream(self, full_graph):
+        """After consuming the whole stream, classification quality should be
+        close to a from-scratch embedding of the final graph."""
+        from repro.eval.node_classification import evaluate_node_classification
+        from repro.embedding.lightne import lightne_embedding
+
+        graph, labels = full_graph
+        initial, batches = edge_stream_from_graph(graph, batches=5, seed=4)
+        embedder = DynamicEmbedder(initial, PARAMS, seed=0)
+        for batch in batches:
+            embedder.apply(batch)
+        streamed = evaluate_node_classification(
+            embedder.vectors, labels, 0.5, repeats=2, seed=1
+        ).micro_f1
+        scratch_vectors = lightne_embedding(graph, PARAMS, seed=0).vectors
+        scratch = evaluate_node_classification(
+            scratch_vectors, labels, 0.5, repeats=2, seed=1
+        ).micro_f1
+        assert streamed >= scratch - 0.1

@@ -1,0 +1,249 @@
+"""Tests for repro.utils: rng plumbing, timers, validation, chunking."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils.parallel import chunk_ranges, parallel_map
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.timer import StageTimer, Timer
+from repro.utils.validation import (
+    as_int_array,
+    check_fraction,
+    check_positive,
+    check_square_sparse,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(9)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_reproducible_from_int(self):
+        first = [g.random(3) for g in spawn_rngs(5, 3)]
+        second = [g.random(3) for g in spawn_rngs(5, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_none_passthrough(self):
+        assert derive_seed(None, 3) is None
+
+    def test_deterministic(self):
+        assert derive_seed(10, 1) == derive_seed(10, 1)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(10, 1) != derive_seed(10, 2)
+
+
+class TestTimer:
+    def test_elapsed_positive(self):
+        with Timer() as t:
+            time.sleep(0.001)
+        assert t.elapsed > 0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.002)
+        assert t.elapsed >= 0 and t.elapsed != first or t.elapsed >= 0
+
+
+class TestStageTimer:
+    def test_stage_accumulates(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("a"):
+            pass
+        assert timer.stages["a"] >= 0
+        assert timer._order == ["a"]
+
+    def test_total(self):
+        timer = StageTimer()
+        timer.add("x", 1.0)
+        timer.add("y", 2.0)
+        assert timer.total == pytest.approx(3.0)
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            StageTimer().add("x", -1.0)
+
+    def test_order_preserved(self):
+        timer = StageTimer()
+        timer.add("b", 1.0)
+        timer.add("a", 1.0)
+        assert [name for name, _ in timer.as_rows()] == ["b", "a"]
+
+    def test_format_empty(self):
+        assert "no stages" in StageTimer().format()
+
+    def test_format_contains_stage_names(self):
+        timer = StageTimer()
+        timer.add("sparsifier", 1.5)
+        text = timer.format()
+        assert "sparsifier" in text and "total" in text
+
+
+class TestValidation:
+    def test_check_positive_ok(self):
+        check_positive("x", 1)
+
+    def test_check_positive_zero_strict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_positive_zero_nonstrict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_check_fraction_bounds(self):
+        check_fraction("p", 0.0)
+        check_fraction("p", 1.0)
+        with pytest.raises(ValueError):
+            check_fraction("p", 1.5)
+
+    def test_check_fraction_exclusive(self):
+        with pytest.raises(ValueError):
+            check_fraction("p", 0.0, inclusive=False)
+
+    def test_check_square_sparse(self):
+        check_square_sparse("m", sp.eye(3))
+        with pytest.raises(ValueError):
+            check_square_sparse("m", np.eye(3))
+        with pytest.raises(ValueError):
+            check_square_sparse("m", sp.csr_matrix((2, 3)))
+
+    def test_as_int_array(self):
+        out = as_int_array("x", [1.0, 2.0])
+        assert out.dtype == np.int64
+
+    def test_as_int_array_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            as_int_array("x", [1.5])
+
+    def test_as_int_array_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_int_array("x", [[1, 2]])
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        assert chunk_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split(self):
+        assert chunk_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_chunks_than_items(self):
+        ranges = chunk_ranges(2, 5)
+        assert ranges == [(0, 1), (1, 2)]
+
+    def test_zero_total(self):
+        assert chunk_ranges(0, 3) == []
+
+    def test_covers_everything(self):
+        ranges = chunk_ranges(17, 4)
+        flat = [i for start, stop in ranges for i in range(start, stop)]
+        assert flat == list(range(17))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(lambda x: x * 2, [(1,), (2,), (3,)]) == [2, 4, 6]
+
+    def test_threaded_order_preserved(self):
+        def work(x):
+            time.sleep(0.001 * (5 - x))
+            return x
+
+        assert parallel_map(work, [(i,) for i in range(5)], workers=4) == list(range(5))
+
+    def test_multiple_args(self):
+        assert parallel_map(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_empty(self):
+        assert parallel_map(lambda x: x, []) == []
+
+
+class TestLogging:
+    def test_logger_namespaced(self):
+        from repro.utils.log import get_logger
+
+        assert get_logger("repro.embedding.lightne").name == "repro.embedding.lightne"
+        assert get_logger("custom").name == "repro.custom"
+
+    def test_silent_by_default(self, capsys):
+        from repro.embedding import LightNEParams, lightne_embedding
+        from repro.graph.generators import erdos_renyi_graph
+
+        g = erdos_renyi_graph(30, 0.3, seed=0)
+        lightne_embedding(
+            g, LightNEParams(dimension=4, window=2, propagate=False), seed=0
+        )
+        captured = capsys.readouterr()
+        assert "lightne:" not in captured.err
+
+    def test_debug_lines_emitted(self, caplog):
+        import logging
+
+        from repro.embedding import LightNEParams, lightne_embedding
+        from repro.graph.generators import erdos_renyi_graph
+
+        g = erdos_renyi_graph(30, 0.3, seed=0)
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            lightne_embedding(
+                g, LightNEParams(dimension=4, window=2, propagate=False), seed=0
+            )
+        messages = " ".join(record.message for record in caplog.records)
+        assert "sparsifier nnz" in messages
+        assert "done in" in messages
