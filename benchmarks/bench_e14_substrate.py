@@ -76,6 +76,44 @@ class TestSamplingThroughput:
         )
         assert draws > 0
 
+    def test_path_sampling_counters(self, benchmark, crawl, table):
+        """Same kernel, instrumented: the per-stage counters the PR surfaces
+        (walk samples, batch count, samples/sec) next to the wall-clock."""
+        benchmark.group = "sampling"
+        config = PathSamplingConfig(
+            window=10,
+            num_samples=PathSamplingConfig.samples_for_multiplier(crawl, 10, 1.0),
+            downsample=True,
+        )
+        stats = {}
+
+        def run():
+            import time
+
+            start = time.perf_counter()
+            sample_sparsifier_edges(
+                crawl, config, SEED, batch_size=100_000, stats=stats
+            )
+            stats["samples_per_sec"] = stats["walk_samples"] / max(
+                time.perf_counter() - start, 1e-12
+            )
+            return stats
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        table(
+            "E14 — PathSampling stage counters (batch_size=100k)",
+            [
+                {
+                    "walk_samples": int(rows["walk_samples"]),
+                    "batches": int(rows["batches"]),
+                    "batch_size": int(rows["batch_size"]),
+                    "samples_per_sec": int(rows["samples_per_sec"]),
+                }
+            ],
+        )
+        assert rows["batches"] >= 1
+        assert rows["samples_per_sec"] > 0
+
 
 class TestCompressionThroughput:
     def test_compress(self, benchmark, crawl):

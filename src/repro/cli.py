@@ -100,15 +100,25 @@ def _load_graph(args: argparse.Namespace):
     raise SystemExit("one of --input or --dataset is required")
 
 
-def _embed(graph, method: str, dimension: int, window: int, seed: int):
-    """Dispatch to the requested embedding method."""
+def _embed(graph, method: str, dimension: int, window: int, seed: int,
+           workers: Optional[int] = None):
+    """Dispatch to the requested embedding method.
+
+    ``workers`` controls the sparsifier thread pool of the sampling-based
+    methods (lightne / netsmf); ``None`` means ``default_workers()``.  Other
+    methods ignore it.
+    """
     if method == "lightne":
         return lightne_embedding(
-            graph, LightNEParams(dimension=dimension, window=window), seed
+            graph,
+            LightNEParams(dimension=dimension, window=window, workers=workers),
+            seed,
         )
     if method == "netsmf":
         return netsmf_embedding(
-            graph, NetSMFParams(dimension=dimension, window=window), seed
+            graph,
+            NetSMFParams(dimension=dimension, window=window, workers=workers),
+            seed,
         )
     if method == "prone":
         return prone_embedding(graph, ProNEParams(dimension=dimension), seed)
@@ -140,7 +150,10 @@ def _embed(graph, method: str, dimension: int, window: int, seed: int):
 def _cmd_embed(args: argparse.Namespace) -> int:
     graph, _ = _load_graph(args)
     start = time.perf_counter()
-    result = _embed(graph, args.method, args.dim, args.window, args.seed)
+    result = _embed(
+        graph, args.method, args.dim, args.window, args.seed,
+        workers=args.workers,
+    )
     elapsed = time.perf_counter() - start
     np.save(args.output, result.vectors)
     print(f"method={result.method} n={graph.num_vertices} m={graph.num_edges}")
@@ -179,7 +192,10 @@ def _cmd_eval_lp(args: argparse.Namespace) -> int:
     train, pos_u, pos_v = train_test_split_edges(
         graph, args.test_fraction, seed=args.seed
     )
-    result = _embed(train, args.method, args.dim, args.window, args.seed)
+    result = _embed(
+        train, args.method, args.dim, args.window, args.seed,
+        workers=args.workers,
+    )
     metrics = evaluate_link_prediction(
         result.vectors, pos_u, pos_v, num_negatives=args.negatives, seed=args.seed
     )
@@ -204,7 +220,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     embedder = DynamicEmbedder(
         initial,
         LightNEParams(dimension=args.dim, window=args.window,
-                      sample_multiplier=args.multiplier),
+                      sample_multiplier=args.multiplier,
+                      workers=args.workers),
         policy=RefreshPolicy(max_pending_fraction=args.refresh_fraction),
         seed=args.seed,
     )
@@ -262,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--dataset", choices=dataset_names(), help="registered synthetic dataset"
         )
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="sparsifier thread-pool width (default: one per core, "
+                 "capped at 8); output is bit-identical for every value",
+        )
 
     p_embed = sub.add_parser("embed", help="compute an embedding")
     add_common(p_embed)

@@ -65,8 +65,15 @@ class LightNEParams:
     propagate / propagation_order / mu / theta:
         Spectral-propagation controls (step 2).
     aggregator:
-        ``"hash"`` (sparse parallel hashing, the paper's choice) or
-        ``"sort"``.
+        ``"hash"`` (shared sparse parallel hashing, the paper's choice),
+        ``"hash-sharded"`` (per-processor tables, merged) or ``"sort"``.
+    workers:
+        Thread-pool width for sparsifier construction; ``None`` (default)
+        resolves to :func:`repro.utils.parallel.default_workers`.  The
+        sparsifier is bit-identical for every worker count given the same
+        ``seed`` and ``batch_size``.
+    batch_size:
+        Maximum walk-slab size during sampling (peak-memory bound).
     """
 
     dimension: int = 128
@@ -80,6 +87,8 @@ class LightNEParams:
     mu: float = 0.2
     theta: float = 0.5
     aggregator: str = "hash"
+    workers: Optional[int] = None
+    batch_size: int = 2_000_000
 
     @staticmethod
     def small(window: int = 10, dimension: int = 128) -> "LightNEParams":
@@ -135,7 +144,8 @@ def lightne_embedding(
         config.num_samples, config.downsample,
     )
     sparsifier = build_netmf_sparsifier(
-        graph, config, rng, aggregator=params.aggregator, timer=timer
+        graph, config, rng, aggregator=params.aggregator, timer=timer,
+        workers=params.workers, batch_size=params.batch_size,
     )
     logger.debug(
         "lightne: sparsifier nnz=%d from %d draws (%.1f%% of draws kept "
@@ -172,6 +182,10 @@ def lightne_embedding(
             "sparsifier_nnz": sparsifier.nnz,
             "downsample": params.downsample,
             "propagated": params.propagate,
+            "workers": int(sparsifier.stats.get("workers", 1)),
+            "sparsifier_batches": int(sparsifier.stats.get("batches", 0)),
+            "samples_per_sec": float(sparsifier.stats.get("samples_per_sec", 0.0)),
+            "peak_table_bytes": int(sparsifier.stats.get("peak_table_bytes", 0)),
         },
     )
 

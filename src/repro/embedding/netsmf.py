@@ -10,7 +10,7 @@ downsampling, (b) the shared hash table, and (c) adding spectral propagation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro.embedding.base import EmbeddingResult, validate_dimension
 from repro.graph.compression import CompressedGraph
@@ -42,7 +42,10 @@ class NetSMFParams:
     negative_samples:
         The ``b`` of Eq. (1).
     aggregator:
-        ``"sort"`` mimics NetSMF's merge-at-end; ``"hash"`` available too.
+        ``"sort"`` mimics NetSMF's merge-at-end; ``"hash"`` /
+        ``"hash-sharded"`` available too.
+    workers:
+        Sampling thread-pool width (``None`` = ``default_workers()``).
     """
 
     dimension: int = 128
@@ -50,6 +53,7 @@ class NetSMFParams:
     sample_multiplier: float = 1.0
     negative_samples: float = 1.0
     aggregator: str = "sort"
+    workers: Optional[int] = None
 
 
 def netsmf_embedding(
@@ -69,7 +73,8 @@ def netsmf_embedding(
         downsample=False,
     )
     result = build_netmf_sparsifier(
-        graph, config, rng, aggregator=params.aggregator, timer=timer
+        graph, config, rng, aggregator=params.aggregator, timer=timer,
+        workers=params.workers,
     )
     with timer.stage("svd"):
         matrix = sparsifier_to_netmf_matrix(

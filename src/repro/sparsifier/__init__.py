@@ -11,10 +11,11 @@ from repro.sparsifier.path_sampling import (
     path_sample_pairs,
     sample_sparsifier_edges,
 )
-from repro.sparsifier.hashtable import SparseParallelHashTable
+from repro.sparsifier.hashtable import SparseParallelHashTable, hash_partition
 from repro.sparsifier.aggregation import (
     aggregate_dict,
     aggregate_hash,
+    aggregate_hash_sharded,
     aggregate_histogram,
     aggregate_sort,
 )
@@ -30,8 +31,10 @@ __all__ = [
     "path_sample_pairs",
     "sample_sparsifier_edges",
     "SparseParallelHashTable",
+    "hash_partition",
     "aggregate_dict",
     "aggregate_hash",
+    "aggregate_hash_sharded",
     "aggregate_histogram",
     "aggregate_sort",
     "SparsifierResult",

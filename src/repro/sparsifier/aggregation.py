@@ -4,24 +4,32 @@ The paper considered several ways to count how often each distinct edge is
 sampled: per-processor lists merged by GBBS's sparse histogram (a semisort),
 per-processor hash tables merged periodically, and a single shared sparse
 parallel hash table — the last being fastest and most memory-efficient on
-their hardware.  We implement three analogs so benchmark E12 can compare
-them:
+their hardware.  We implement analogs of every strategy so benchmark E12 can
+compare them:
 
 * :func:`aggregate_hash` — the shared :class:`SparseParallelHashTable`;
+* :func:`aggregate_hash_sharded` — per-processor tables over a hash
+  partition of the key space, built concurrently and merged at the end
+  (the paper's second alternative);
 * :func:`aggregate_sort` — semisort analog: ``np.unique`` on packed keys;
+* :func:`aggregate_histogram` — per-processor lists + sparse histogram;
 * :func:`aggregate_dict` — plain Python dict (reference implementation used
   by the tests as ground truth).
 
-All return identical ``(rows, cols, values)`` triples up to ordering.
+All return identical ``(rows, cols, values)`` triples up to ordering.  The
+hash-based aggregators accept an optional ``stats`` dict that receives
+``peak_table_bytes`` (the backing-array footprint the paper's §5.2.4 memory
+model tracks) and ``distinct`` entries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.sparsifier.hashtable import SparseParallelHashTable
+from repro.sparsifier.hashtable import SparseParallelHashTable, hash_partition
+from repro.utils.parallel import default_workers, parallel_map
 
 Triple = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
@@ -36,7 +44,13 @@ def _as_arrays(rows, cols, values) -> Triple:
 
 
 def aggregate_hash(
-    rows, cols, values, n: int, *, batch_size: int = 1_000_000
+    rows,
+    cols,
+    values,
+    n: int,
+    *,
+    batch_size: int = 1_000_000,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Triple:
     """Aggregate with the shared sparse parallel hash table (paper's choice)."""
     rows, cols, values = _as_arrays(rows, cols, values)
@@ -44,7 +58,81 @@ def aggregate_hash(
     for start in range(0, rows.size, batch_size):
         stop = start + batch_size
         table.add_pairs(rows[start:stop], cols[start:stop], values[start:stop], n)
+    if stats is not None:
+        stats["peak_table_bytes"] = table.size_in_bytes()
+        stats["distinct"] = len(table)
     return table.to_pairs(n)
+
+
+def aggregate_hash_sharded(
+    rows,
+    cols,
+    values,
+    n: int,
+    *,
+    num_shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    batch_size: int = 1_000_000,
+    stats: Optional[Dict[str, float]] = None,
+) -> Triple:
+    """Per-processor hash tables over a hash partition of the key space.
+
+    The §4.2 alternative to the single shared table: the packed ``row*n+col``
+    keys are partitioned by :func:`hash_partition` into ``num_shards``
+    disjoint slices, each slice is accumulated into its own
+    :class:`SparseParallelHashTable` (concurrently, on a thread pool, when
+    ``workers > 1``), and the shard tables are merged into one result table
+    via ``add_batch``.  Because shard membership is a pure function of the
+    key, the aggregated key set always matches :func:`aggregate_hash`, and
+    for a *fixed* ``num_shards`` the output is bit-identical for every
+    ``workers`` value.  Varying ``num_shards`` can permute the output order
+    and reassociate floating-point sums (values then agree only up to
+    rounding).
+
+    ``num_shards`` defaults to the resolved worker count; ``workers=None``
+    resolves to :func:`repro.utils.parallel.default_workers`.
+    """
+    rows, cols, values = _as_arrays(rows, cols, values)
+    if workers is None:
+        workers = default_workers()
+    if num_shards is None:
+        num_shards = max(1, workers)
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if rows.size == 0:
+        return rows, cols, values
+    keys = rows * np.int64(n) + cols
+    shard_of = hash_partition(keys, num_shards)
+
+    def build_shard(shard_keys: np.ndarray, shard_values: np.ndarray):
+        table = SparseParallelHashTable(
+            capacity_hint=max(64, shard_keys.size // 4)
+        )
+        for start in range(0, shard_keys.size, batch_size):
+            stop = start + batch_size
+            table.add_batch(shard_keys[start:stop], shard_values[start:stop])
+        return table
+
+    args = []
+    for shard in range(num_shards):
+        members = shard_of == shard
+        args.append((keys[members], values[members]))
+    shards = parallel_map(build_shard, args, workers=workers)
+
+    merged = SparseParallelHashTable(
+        capacity_hint=max(1024, sum(len(t) for t in shards))
+    )
+    for table in shards:
+        shard_keys, shard_values = table.items()
+        merged.add_batch(shard_keys, shard_values)
+    if stats is not None:
+        shard_bytes = sum(t.size_in_bytes() for t in shards)
+        # Shard tables and the merged table coexist during the merge.
+        stats["peak_table_bytes"] = shard_bytes + merged.size_in_bytes()
+        stats["shard_table_bytes"] = shard_bytes
+        stats["num_shards"] = num_shards
+        stats["distinct"] = len(merged)
+    return merged.to_pairs(n)
 
 
 def aggregate_sort(rows, cols, values, n: int) -> Triple:

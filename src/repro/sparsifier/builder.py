@@ -27,8 +27,9 @@ symmetric, so averaging the two orientations halves the variance for free).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Union
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -36,8 +37,13 @@ import scipy.sparse as sp
 from repro.errors import SamplingError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
-from repro.sparsifier.aggregation import aggregate_hash, aggregate_sort
+from repro.sparsifier.aggregation import (
+    aggregate_hash,
+    aggregate_hash_sharded,
+    aggregate_sort,
+)
 from repro.sparsifier.path_sampling import PathSamplingConfig, sample_sparsifier_edges
+from repro.utils.parallel import default_workers
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import StageTimer
 
@@ -57,11 +63,16 @@ class SparsifierResult:
         Realized number of PathSampling trials ``M`` before downsampling.
     window:
         The context window ``T`` used.
+    stats:
+        Construction counters: walk samples, batch count, resolved worker
+        count, sampling/aggregation seconds, samples/sec and (for hash
+        aggregators) peak table bytes.
     """
 
     counts: sp.csr_matrix
     num_draws: int
     window: int
+    stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def nnz(self) -> int:
@@ -93,6 +104,8 @@ def build_netmf_sparsifier(
     *,
     aggregator: str = "hash",
     timer: Optional[StageTimer] = None,
+    workers: Optional[int] = None,
+    batch_size: int = 2_000_000,
 ) -> SparsifierResult:
     """Sample (Algorithm 2) and aggregate into the count matrix ``W``.
 
@@ -103,25 +116,62 @@ def build_netmf_sparsifier(
     config:
         Sampling parameters (window ``T``, sample budget ``M``, downsampling).
     aggregator:
-        ``"hash"`` (paper's sparse parallel hashing) or ``"sort"``
-        (semisort analog).
+        ``"hash"`` (paper's shared sparse parallel hashing),
+        ``"hash-sharded"`` (per-processor tables over a key partition,
+        built on the worker pool) or ``"sort"`` (semisort analog).
     timer:
         Optional :class:`StageTimer` to record the construction time under
-        ``"sparsifier"`` (Table 5's first column).
+        ``"sparsifier"`` (Table 5's first column).  Sampling counters
+        (samples/sec, batches, peak table bytes, workers) are attached to the
+        same stage.
+    workers:
+        Thread-pool width for sampling (and sharded aggregation); ``None``
+        resolves to :func:`repro.utils.parallel.default_workers`.  For a
+        fixed ``seed`` and ``batch_size`` the result is bit-identical for
+        every worker count.
+    batch_size:
+        Maximum walk-slab size; bounds peak memory of the sampling stage.
     """
     rng = ensure_rng(seed)
+    if workers is None:
+        workers = default_workers()
     n = graph.num_vertices
     timer = timer if timer is not None else StageTimer()
+    stats: Dict[str, float] = {}
     with timer.stage("sparsifier"):
-        u, v, w, draws = sample_sparsifier_edges(graph, config, rng)
+        tic = time.perf_counter()
+        u, v, w, draws = sample_sparsifier_edges(
+            graph, config, rng, batch_size=batch_size, workers=workers,
+            stats=stats,
+        )
+        stats["sampling_seconds"] = time.perf_counter() - tic
+        stats["samples_per_sec"] = u.size / max(stats["sampling_seconds"], 1e-12)
+        tic = time.perf_counter()
         if aggregator == "hash":
-            rows, cols, vals = aggregate_hash(u, v, w, n)
+            rows, cols, vals = aggregate_hash(u, v, w, n, stats=stats)
+        elif aggregator == "hash-sharded":
+            # Fixed shard count: the decomposition (and hence the fp
+            # summation order) must not depend on ``workers``, mirroring the
+            # batch_size design in sampling.  Workers only map shards to
+            # threads.
+            rows, cols, vals = aggregate_hash_sharded(
+                u, v, w, n, workers=workers, num_shards=8, stats=stats
+            )
         elif aggregator == "sort":
             rows, cols, vals = aggregate_sort(u, v, w, n)
         else:
             raise SamplingError(f"unknown aggregator {aggregator!r}")
+        stats["aggregation_seconds"] = time.perf_counter() - tic
         counts = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
-    return SparsifierResult(counts=counts, num_draws=draws, window=config.window)
+    for name in (
+        "walk_samples", "batches", "workers", "samples_per_sec",
+        "peak_table_bytes",
+    ):
+        if name in stats:
+            timer.set_counter("sparsifier", name, float(stats[name]))
+    return SparsifierResult(
+        counts=counts, num_draws=draws, window=config.window, stats=stats
+    )
 
 
 def sparsifier_to_netmf_matrix(

@@ -36,6 +36,22 @@ def _hash_keys(keys: np.ndarray, mask: np.uint64) -> np.ndarray:
     return (h & mask).astype(np.int64)
 
 
+def hash_partition(keys: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Assign each key to one of ``num_partitions`` shards by hash.
+
+    Uses the same multiplicative mix as the table's probe hash but folds the
+    *high* bits onto the shard space, so shard choice is nearly independent of
+    the slot a key probes inside its shard's table.  Used by the sharded
+    (per-processor tables) aggregation path.
+    """
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    keys = np.asarray(keys, dtype=np.int64)
+    h = keys.astype(np.uint64) * _HASH_MULT
+    h ^= h >> np.uint64(29)
+    return ((h >> np.uint64(33)) % np.uint64(num_partitions)).astype(np.int64)
+
+
 class SparseParallelHashTable:
     """Open-addressing (key → float accumulator) table with batch inserts.
 
@@ -111,9 +127,11 @@ class SparseParallelHashTable:
             return
         if np.any(keys < 0):
             raise ValueError("keys must be non-negative (≥1 slot sentinel is -1)")
-        if self.compact and keys.max() >= 2**31 - 1:
+        # int32 can represent every key up to 2^31 - 1; only the sentinel -1
+        # is reserved, so reject strictly-larger keys only.
+        if self.compact and keys.max() > 2**31 - 1:
             raise ValueError(
-                "compact table holds int32 keys; packed key exceeds 2^31 - 2"
+                "compact table holds int32 keys; packed key exceeds 2^31 - 1"
             )
         keys = keys.astype(self._key_dtype, copy=False)
         values = values.astype(self._value_dtype, copy=False)

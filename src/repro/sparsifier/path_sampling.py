@@ -19,7 +19,7 @@ grouped by walk length ``r``, and the two walks are advanced in lock-step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -28,8 +28,8 @@ from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.graph.walks import step_random_walk
 from repro.sparsifier.downsampling import downsampling_probabilities
-from repro.utils.parallel import chunk_ranges, parallel_map
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.parallel import default_workers, parallel_map
+from repro.utils.rng import SeedLike, ensure_rng, spawn_batch_rngs
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -131,7 +131,8 @@ def sample_sparsifier_edges(
     seed: SeedLike = None,
     *,
     batch_size: int = 2_000_000,
-    workers: int = 1,
+    workers: Optional[int] = 1,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Run Algorithm 2 end to end.
 
@@ -140,19 +141,29 @@ def sample_sparsifier_edges(
     ``draws`` is the realized number of PathSampling trials before the coin
     (the paper's ``M``; needed for the estimator's normalization).
 
-    Batches cap peak memory: samples are generated per slab of the expanded
-    seed array, walked, and concatenated.  With ``workers > 1`` the surviving
-    seeds are split into contiguous chunks walked on a thread pool with
-    independent derived RNG streams — the Python analog of the paper's
-    parallel ``MapEdges`` (numpy walk kernels release the GIL).
+    Work is split into fixed-size slabs of at most ``batch_size`` surviving
+    seeds — bounding peak memory regardless of ``workers`` — and each slab is
+    walked with its own RNG stream derived from the *batch index* via a
+    ``SeedSequence``.  Slabs run on a thread pool when ``workers > 1`` (numpy
+    walk kernels release the GIL — the Python analog of the paper's parallel
+    ``MapEdges``) and results are concatenated in batch order, so for a fixed
+    ``seed`` and ``batch_size`` the output is bit-identical for every worker
+    count.  ``workers=None`` resolves to
+    :func:`repro.utils.parallel.default_workers`.
+
+    ``stats``, when given, receives sampling counters: realized draws,
+    surviving walk samples, batch count/size and the resolved worker count.
     """
     rng = ensure_rng(seed)
+    if workers is None:
+        workers = default_workers()
+    if batch_size < 1:
+        raise SamplingError(f"batch_size must be >= 1, got {batch_size}")
     if isinstance(graph, CompressedGraph):
         flat = graph.decompress()
     else:
         flat = graph
-    m = flat.num_edges
-    if m == 0:
+    if flat.num_edges == 0:
         raise SamplingError("cannot sample from an empty graph")
     if config.num_samples <= 0:
         raise SamplingError("config.num_samples must be set (> 0)")
@@ -161,6 +172,13 @@ def sample_sparsifier_edges(
     mask = src < dst
     src, dst = src[mask], dst[mask]
     edge_w = flat.weights[mask] if flat.weights is not None else None
+    # ``m`` is the number of *seedable* (non-loop) undirected edges.  It can
+    # be smaller than ``flat.num_edges`` when the graph carries self-loops —
+    # every per-edge array below must be sized by the masked count or the
+    # seed indices drift out of alignment.
+    m = src.size
+    if m == 0:
+        raise SamplingError("graph has no non-loop edges to seed from")
 
     if edge_w is not None:
         counts = _weighted_sample_counts(edge_w, config.num_samples, rng)
@@ -198,23 +216,26 @@ def sample_sparsifier_edges(
         )
         return u_prime, v_prime, 1.0 / probs[batch]
 
+    starts = list(range(0, seed_edge.size, batch_size))
+    if stats is not None:
+        stats["draws"] = total_draws
+        stats["walk_samples"] = int(seed_edge.size)
+        stats["batches"] = len(starts)
+        stats["batch_size"] = int(batch_size)
+        stats["workers"] = int(workers)
     if seed_edge.size == 0:
         empty_i = np.empty(0, dtype=np.int64)
         return empty_i, empty_i.copy(), np.empty(0), total_draws
 
-    if workers > 1:
-        ranges = chunk_ranges(seed_edge.size, workers)
-        rngs = spawn_rngs(rng, len(ranges))
-        args = [
-            (seed_edge[start:stop], chunk_rng)
-            for (start, stop), chunk_rng in zip(ranges, rngs)
-        ]
-        results = parallel_map(walk_chunk, args, workers=workers)
-    else:
-        results = [
-            walk_chunk(seed_edge[start : start + batch_size], rng)
-            for start in range(0, seed_edge.size, batch_size)
-        ]
+    # One RNG stream per batch *index* (not per worker chunk): the batch
+    # decomposition depends only on ``batch_size``, so the sampled walks are
+    # independent of how many threads execute them.
+    batch_rngs = spawn_batch_rngs(rng, len(starts))
+    args = [
+        (seed_edge[start : start + batch_size], batch_rng)
+        for start, batch_rng in zip(starts, batch_rngs)
+    ]
+    results = parallel_map(walk_chunk, args, workers=workers)
     return (
         np.concatenate([r[0] for r in results]),
         np.concatenate([r[1] for r in results]),

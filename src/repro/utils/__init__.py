@@ -1,16 +1,17 @@
 """Shared utilities: RNG handling, timers, validation and chunked parallelism."""
 
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ensure_rng, spawn_batch_rngs, spawn_rngs
 from repro.utils.timer import StageTimer, Timer
 from repro.utils.validation import (
     check_fraction,
     check_positive,
     check_square_sparse,
 )
-from repro.utils.parallel import chunk_ranges, parallel_map
+from repro.utils.parallel import chunk_ranges, default_workers, parallel_map
 
 __all__ = [
     "ensure_rng",
+    "spawn_batch_rngs",
     "spawn_rngs",
     "Timer",
     "StageTimer",
@@ -18,5 +19,6 @@ __all__ = [
     "check_positive",
     "check_square_sparse",
     "chunk_ranges",
+    "default_workers",
     "parallel_map",
 ]

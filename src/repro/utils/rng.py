@@ -35,8 +35,13 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
 def spawn_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``.
 
-    Used by chunked bulk operations so that results are reproducible no matter
-    how work is split across chunks.
+    Reproducibility caveat: when ``seed`` is a :class:`numpy.random.Generator`
+    the children are seeded from the parent's *current bit stream*, so the
+    derived streams depend on the parent's state **and on** ``count`` — two
+    calls that split the same work into different chunk counts produce
+    unrelated streams.  Callers that need results to be invariant to how work
+    is split (e.g. across worker counts) should use :func:`spawn_batch_rngs`,
+    which derives one stream per fixed batch index instead.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -46,6 +51,27 @@ def spawn_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
         return [np.random.default_rng(int(s)) for s in seeds]
     sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def spawn_batch_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
+    """Derive ``count`` generators, one per *batch index*, stably.
+
+    Unlike :func:`spawn_rngs`, a Generator input consumes exactly one draw
+    from the parent stream (a root entropy value) regardless of ``count``;
+    child ``i`` is then ``SeedSequence(root).spawn(...)[i]``.  Because
+    ``SeedSequence.spawn`` children are indexed, stream ``i`` is the same no
+    matter how the batches are later distributed over workers — this is what
+    makes chunked sampling bit-identical across worker counts.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]
 
 
 def derive_seed(seed: Optional[int], salt: int) -> Optional[int]:

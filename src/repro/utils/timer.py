@@ -43,9 +43,16 @@ class StageTimer:
     """Accumulates named stage durations, preserving insertion order.
 
     The same stage name may be timed multiple times; durations accumulate.
+
+    Besides durations, every stage may carry named **counters** — throughput
+    and footprint figures (samples/sec, batch counts, peak table bytes) that
+    the benchmark tables report next to the wall-clock columns.  Counters are
+    set with :meth:`set_counter` and read back via :attr:`counters` or
+    :meth:`counter_rows`; :meth:`format` prints them under their stage.
     """
 
     stages: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
     _order: List[str] = field(default_factory=list)
 
     @contextmanager
@@ -70,6 +77,26 @@ class StageTimer:
             self.stages[name] = 0.0
         self.stages[name] += seconds
 
+    def set_counter(self, stage: str, name: str, value: float) -> None:
+        """Record counter ``name`` = ``value`` for ``stage`` (overwrites)."""
+        self.counters.setdefault(stage, {})[name] = value
+
+    def get_counter(self, stage: str, name: str, default: float = 0.0) -> float:
+        """Read back a counter (``default`` when absent)."""
+        return self.counters.get(stage, {}).get(name, default)
+
+    def counter_rows(self) -> List[tuple]:
+        """All counters as ``(stage, counter, value)`` rows, stage order first."""
+        ordered = list(self._order) + [
+            s for s in self.counters if s not in self.stages
+        ]
+        return [
+            (stage, name, value)
+            for stage in ordered
+            if stage in self.counters
+            for name, value in self.counters[stage].items()
+        ]
+
     @property
     def total(self) -> float:
         """Sum of all recorded stage durations."""
@@ -80,10 +107,13 @@ class StageTimer:
         return [(name, self.stages[name]) for name in self._order]
 
     def format(self) -> str:
-        """Human-readable multi-line breakdown."""
+        """Human-readable multi-line breakdown (durations, then counters)."""
         if not self.stages:
             return "(no stages recorded)"
         width = max(len(name) for name in self._order)
         lines = [f"{name:<{width}}  {self.stages[name]:>10.4f} s" for name in self._order]
         lines.append(f"{'total':<{width}}  {self.total:>10.4f} s")
+        for stage, name, value in self.counter_rows():
+            rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.1f}"
+            lines.append(f"  {stage}.{name} = {rendered}")
         return "\n".join(lines)

@@ -36,6 +36,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["embed", "--dataset", "nope"])
 
+    def test_workers_option(self):
+        args = build_parser().parse_args(
+            ["embed", "--dataset", "blogcatalog_like", "--workers", "4"]
+        )
+        assert args.workers == 4
+        default = build_parser().parse_args(["embed", "--dataset", "blogcatalog_like"])
+        assert default.workers is None
+
 
 class TestCommands:
     def test_info_on_file(self, edge_file, capsys):
@@ -63,6 +71,21 @@ class TestCommands:
     def test_embed_missing_source(self):
         with pytest.raises(SystemExit):
             main(["embed"])
+
+    def test_embed_workers_identical_output(self, edge_file, tmp_path, capsys):
+        # --workers must not change the saved vectors (determinism guarantee).
+        paths = {w: str(tmp_path / f"vec_w{w}.npy") for w in (1, 4)}
+        for w, out_path in paths.items():
+            code = main(
+                [
+                    "embed", "--input", edge_file, "--method", "lightne",
+                    "--dim", "8", "--window", "2", "--seed", "5",
+                    "--workers", str(w), "--output", out_path,
+                ]
+            )
+            assert code == 0
+        np.testing.assert_array_equal(np.load(paths[1]), np.load(paths[4]))
+        assert "sparsifier.samples_per_sec" in capsys.readouterr().out
 
     def test_embed_then_eval_nc(self, tmp_path, capsys):
         out_path = str(tmp_path / "vec.npy")

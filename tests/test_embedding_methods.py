@@ -198,6 +198,34 @@ class TestLightNE:
         b = lightne_embedding(graph, params, seed=3)
         np.testing.assert_allclose(a.vectors, b.vectors)
 
+    def test_worker_count_invariance_end_to_end(self, sbm_bundle):
+        # Acceptance criterion: the whole embedding (not just the sparsifier)
+        # is bit-identical for every worker count at a fixed seed.
+        graph, _ = sbm_bundle
+        serial = lightne_embedding(
+            graph,
+            LightNEParams(dimension=8, window=2, workers=1, batch_size=1000),
+            seed=0,
+        )
+        threaded = lightne_embedding(
+            graph,
+            LightNEParams(dimension=8, window=2, workers=4, batch_size=1000),
+            seed=0,
+        )
+        np.testing.assert_array_equal(serial.vectors, threaded.vectors)
+        assert serial.info["workers"] == 1
+        assert threaded.info["workers"] == 4
+
+    def test_info_counters(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        r = lightne_embedding(
+            graph, LightNEParams(dimension=8, window=2, workers=2), seed=1
+        )
+        assert r.info["sparsifier_batches"] >= 1
+        assert r.info["samples_per_sec"] > 0
+        assert r.info["peak_table_bytes"] > 0
+        assert r.timer.get_counter("sparsifier", "workers") == 2
+
     def test_downsampling_shrinks_sparsifier(self, sbm_bundle):
         graph, _ = sbm_bundle
         on = lightne_embedding(

@@ -1,4 +1,4 @@
-"""Tests: all three aggregation strategies agree with each other."""
+"""Tests: all aggregation strategies agree with each other."""
 
 from __future__ import annotations
 
@@ -7,7 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sparsifier.aggregation import aggregate_dict, aggregate_hash, aggregate_sort
+from repro.sparsifier.aggregation import (
+    aggregate_dict,
+    aggregate_hash,
+    aggregate_hash_sharded,
+    aggregate_sort,
+)
 
 
 def _canon(triple):
@@ -16,7 +21,7 @@ def _canon(triple):
     return rows[order], cols[order], values[order]
 
 
-ALL = [aggregate_dict, aggregate_sort, aggregate_hash]
+ALL = [aggregate_dict, aggregate_sort, aggregate_hash, aggregate_hash_sharded]
 
 
 class TestAgreement:
@@ -42,7 +47,7 @@ class TestAgreement:
         cols = rng.integers(0, n, size=3000)
         values = rng.random(3000)
         reference = _canon(aggregate_dict(rows, cols, values, n))
-        for aggregate in (aggregate_sort, aggregate_hash):
+        for aggregate in (aggregate_sort, aggregate_hash, aggregate_hash_sharded):
             got = _canon(aggregate(rows, cols, values, n))
             np.testing.assert_array_equal(got[0], reference[0])
             np.testing.assert_array_equal(got[1], reference[1])
@@ -73,7 +78,7 @@ class TestAgreement:
         cols = np.array([c for _, c in pairs], dtype=np.int64)
         values = np.ones(rows.size)
         reference = _canon(aggregate_dict(rows, cols, values, 16))
-        for aggregate in (aggregate_sort, aggregate_hash):
+        for aggregate in (aggregate_sort, aggregate_hash, aggregate_hash_sharded):
             got = _canon(aggregate(rows, cols, values, 16))
             np.testing.assert_array_equal(got[0], reference[0])
             np.testing.assert_allclose(got[2], reference[2])
@@ -82,6 +87,84 @@ class TestAgreement:
     def test_parallel_array_validation(self, aggregate):
         with pytest.raises(ValueError):
             aggregate(np.array([0]), np.array([0, 1]), np.array([1.0]), n=3)
+
+
+class TestShardedAggregation:
+    """The §4.2 per-processor-tables alternative: hash-partitioned shards."""
+
+    def test_duplicate_heavy_matches_dict(self, rng):
+        # A tiny keyspace makes nearly every sample a duplicate, stressing
+        # the in-shard accumulation and the final merge.
+        n = 5
+        rows = rng.integers(0, n, size=4000)
+        cols = rng.integers(0, n, size=4000)
+        values = rng.random(4000)
+        reference = _canon(aggregate_dict(rows, cols, values, n))
+        got = _canon(
+            aggregate_hash_sharded(rows, cols, values, n, num_shards=4, workers=4)
+        )
+        np.testing.assert_array_equal(got[0], reference[0])
+        np.testing.assert_array_equal(got[1], reference[1])
+        np.testing.assert_allclose(got[2], reference[2])
+
+    def test_growth_triggering_batches(self, rng):
+        # batch_size far below the distinct-key count forces every shard
+        # table to rehash repeatedly while accumulating.
+        n = 200
+        rows = rng.integers(0, n, size=6000)
+        cols = rng.integers(0, n, size=6000)
+        values = np.ones(6000)
+        reference = _canon(aggregate_dict(rows, cols, values, n))
+        got = _canon(
+            aggregate_hash_sharded(
+                rows, cols, values, n, num_shards=3, workers=2, batch_size=101
+            )
+        )
+        np.testing.assert_array_equal(got[0], reference[0])
+        np.testing.assert_allclose(got[2], reference[2])
+
+    def test_shard_and_worker_counts_irrelevant(self, rng):
+        n = 30
+        rows = rng.integers(0, n, size=2000)
+        cols = rng.integers(0, n, size=2000)
+        values = rng.random(2000)
+        reference = _canon(aggregate_hash(rows, cols, values, n))
+        for num_shards, workers in [(1, 1), (3, 1), (8, 4), (16, 2)]:
+            got = _canon(
+                aggregate_hash_sharded(
+                    rows, cols, values, n, num_shards=num_shards, workers=workers
+                )
+            )
+            np.testing.assert_array_equal(got[0], reference[0])
+            np.testing.assert_array_equal(got[1], reference[1])
+            np.testing.assert_allclose(got[2], reference[2])
+
+    def test_stats_recorded(self, rng):
+        n = 30
+        rows = rng.integers(0, n, size=1000)
+        cols = rng.integers(0, n, size=1000)
+        stats = {}
+        r, _, _ = aggregate_hash_sharded(
+            rows, cols, np.ones(1000), n, num_shards=4, stats=stats
+        )
+        assert stats["num_shards"] == 4
+        assert stats["distinct"] == r.size
+        assert stats["peak_table_bytes"] > stats["shard_table_bytes"] > 0
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            aggregate_hash_sharded(
+                np.array([0]), np.array([0]), np.array([1.0]), 2, num_shards=0
+            )
+
+    def test_hash_stats_recorded(self, rng):
+        stats = {}
+        r, _, _ = aggregate_hash(
+            rng.integers(0, 10, 200), rng.integers(0, 10, 200), np.ones(200),
+            10, stats=stats,
+        )
+        assert stats["distinct"] == r.size
+        assert stats["peak_table_bytes"] > 0
 
 
 class TestHistogramAggregation:

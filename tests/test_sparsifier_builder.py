@@ -65,7 +65,11 @@ class TestBuilder:
         config = PathSamplingConfig(window=2, num_samples=2000, downsample=False)
         a = build_netmf_sparsifier(er_graph, config, seed=3, aggregator="hash")
         b = build_netmf_sparsifier(er_graph, config, seed=3, aggregator="sort")
+        c = build_netmf_sparsifier(
+            er_graph, config, seed=3, aggregator="hash-sharded"
+        )
         assert (a.counts != b.counts).nnz == 0
+        assert (a.counts != c.counts).nnz == 0
 
     def test_unknown_aggregator(self, er_graph):
         config = PathSamplingConfig(window=2, num_samples=100)
@@ -76,6 +80,53 @@ class TestBuilder:
         config = PathSamplingConfig(window=2, num_samples=1000, downsample=False)
         result = build_netmf_sparsifier(er_graph, config, seed=4)
         assert result.nnz == result.counts.nnz
+
+    def test_worker_count_invariance(self, er_graph):
+        """The same seed must yield a bit-identical sparsifier matrix for
+        every worker count (the PR's determinism guarantee)."""
+        config = PathSamplingConfig(window=3, num_samples=4000, downsample=True)
+        serial = build_netmf_sparsifier(
+            er_graph, config, seed=6, workers=1, batch_size=500
+        )
+        threaded = build_netmf_sparsifier(
+            er_graph, config, seed=6, workers=4, batch_size=500
+        )
+        assert serial.num_draws == threaded.num_draws
+        assert (serial.counts != threaded.counts).nnz == 0
+
+    def test_counters_recorded(self, er_graph):
+        timer = StageTimer()
+        config = PathSamplingConfig(window=2, num_samples=1500, downsample=False)
+        result = build_netmf_sparsifier(
+            er_graph, config, seed=7, timer=timer, workers=2
+        )
+        counters = timer.counters["sparsifier"]
+        assert counters["workers"] == 2
+        assert counters["walk_samples"] == result.stats["walk_samples"]
+        assert counters["samples_per_sec"] > 0
+        assert counters["peak_table_bytes"] > 0
+        assert result.stats["sampling_seconds"] >= 0
+        assert result.stats["aggregation_seconds"] >= 0
+
+    def test_sharded_stats(self, er_graph):
+        config = PathSamplingConfig(window=2, num_samples=1500, downsample=False)
+        result = build_netmf_sparsifier(
+            er_graph, config, seed=8, aggregator="hash-sharded", workers=3
+        )
+        # The builder pins the shard count so the decomposition (and fp
+        # summation order) is independent of the worker count.
+        assert result.stats["num_shards"] == 8
+        assert result.stats["peak_table_bytes"] >= result.stats["shard_table_bytes"]
+
+    def test_sharded_worker_count_invariance(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=3000, downsample=True)
+        serial = build_netmf_sparsifier(
+            er_graph, config, seed=9, aggregator="hash-sharded", workers=1
+        )
+        threaded = build_netmf_sparsifier(
+            er_graph, config, seed=9, aggregator="hash-sharded", workers=4
+        )
+        assert (serial.counts != threaded.counts).nnz == 0
 
 
 class TestEstimator:

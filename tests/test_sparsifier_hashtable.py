@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sparsifier.hashtable import SparseParallelHashTable
+from repro.sparsifier.hashtable import SparseParallelHashTable, hash_partition
 
 
 class TestBasics:
@@ -75,6 +75,24 @@ class TestGrowth:
             table.add_batch(chunk, chunk.astype(float))
         for key in (0, 123, 499):
             assert table.get(key) == pytest.approx(float(key))
+
+    def test_rehash_triggered_inside_single_add_batch(self):
+        # One add_batch large enough to force several doublings mid-call must
+        # preserve earlier entries and merge duplicates exactly like a dict.
+        table = SparseParallelHashTable(capacity_hint=1)
+        table.add_batch(np.array([3, 11]), np.array([1.0, 2.0]))
+        slots_before = table.num_slots
+        keys = np.concatenate([np.arange(2000, dtype=np.int64), [3, 11, 3]])
+        values = np.concatenate([np.ones(2000), [10.0, 20.0, 100.0]])
+        table.add_batch(keys, values)
+        assert table.num_slots > slots_before
+        expected = {}
+        for k, v in zip(keys.tolist(), values.tolist()):
+            expected[k] = expected.get(k, 0.0) + v
+        expected[3] += 1.0
+        expected[11] += 2.0
+        got = dict(zip(*(a.tolist() for a in table.items())))
+        assert got == pytest.approx(expected)
 
     def test_slots_power_of_two(self):
         table = SparseParallelHashTable(capacity_hint=100)
@@ -172,6 +190,17 @@ class TestCompactTable:
         with pytest.raises(ValueError):
             table.add_batch(np.array([2**40]), np.array([1.0]))
 
+    def test_boundary_key_accepted(self):
+        # 2^31 - 1 is representable in int32; only the sentinel -1 is reserved.
+        table = SparseParallelHashTable(compact=True)
+        table.add_batch(np.array([2**31 - 1]), np.array([2.0]))
+        assert table.get(2**31 - 1) == pytest.approx(2.0)
+
+    def test_first_unrepresentable_key_rejected(self):
+        table = SparseParallelHashTable(compact=True)
+        with pytest.raises(ValueError, match=r"2\^31 - 1"):
+            table.add_batch(np.array([2**31]), np.array([1.0]))
+
     def test_full_table_accepts_large_keys(self):
         table = SparseParallelHashTable()
         table.add_batch(np.array([2**40]), np.array([1.0]))
@@ -189,3 +218,24 @@ class TestCompactTable:
         rows, cols, vals = table.to_pairs(100)
         got = {(int(r), int(c)): float(v) for r, c, v in zip(rows, cols, vals)}
         assert got == {(3, 1): 1.0, (7, 2): 2.0}
+
+
+class TestHashPartition:
+    def test_range_and_determinism(self, rng):
+        keys = rng.integers(0, 2**40, size=5000)
+        parts = hash_partition(keys, 7)
+        assert parts.min() >= 0 and parts.max() < 7
+        np.testing.assert_array_equal(parts, hash_partition(keys, 7))
+
+    def test_single_partition(self):
+        assert not hash_partition(np.arange(100), 1).any()
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            hash_partition(np.arange(10), 0)
+
+    def test_roughly_balanced(self, rng):
+        # Consecutive packed keys should spread across shards, not clump.
+        parts = hash_partition(np.arange(8000, dtype=np.int64), 8)
+        counts = np.bincount(parts, minlength=8)
+        assert counts.min() > 8000 / 8 * 0.5

@@ -163,3 +163,128 @@ class TestSampleSparsifierEdges:
         u2, _, _, d2 = sample_sparsifier_edges(er_graph, config, seed=8, batch_size=10**6)
         assert d1 == d2  # draw counts are pre-batching, hence identical
         assert u1.size == u2.size
+
+    def test_invalid_batch_size(self, er_graph):
+        config = PathSamplingConfig(window=2, num_samples=100)
+        with pytest.raises(SamplingError):
+            sample_sparsifier_edges(er_graph, config, seed=0, batch_size=0)
+
+
+class TestSelfLoopAlignment:
+    """Regression: per-edge arrays must be sized by the masked (non-loop)
+    edge count, not ``graph.num_edges`` — self-loops used to misalign the
+    seed indices (IndexError / wrong ``1/p_e`` weights)."""
+
+    @pytest.fixture
+    def loopy(self):
+        # 4-cycle plus self-loops at 1 and 2: num_edges=5, seedable edges=4.
+        return from_edges(
+            [0, 1, 2, 0, 1, 2], [1, 2, 3, 3, 1, 2], drop_self_loops=False
+        )
+
+    def test_counts_match_seedable_edges(self, loopy):
+        src, dst = loopy.edge_endpoints()
+        assert (src < dst).sum() < loopy.num_edges  # fixture has real loops
+
+    def test_runs_without_downsampling(self, loopy):
+        config = PathSamplingConfig(window=3, num_samples=400, downsample=False)
+        u, v, w, draws = sample_sparsifier_edges(loopy, config, seed=0)
+        assert u.size == draws
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_weights_match_serial_reference(self, loopy):
+        """Every kept weight must be a ``1/p_e`` of a *seedable* edge, and
+        the parallel run must equal the serial one exactly."""
+        from repro.sparsifier.downsampling import graph_downsampling_probabilities
+
+        config = PathSamplingConfig(window=3, num_samples=600, downsample=True)
+        u1, v1, w1, d1 = sample_sparsifier_edges(loopy, config, seed=5, workers=1)
+        u4, v4, w4, d4 = sample_sparsifier_edges(loopy, config, seed=5, workers=4)
+        np.testing.assert_array_equal(u1, u4)
+        np.testing.assert_array_equal(v1, v4)
+        np.testing.assert_array_equal(w1, w4)
+        assert d1 == d4
+        probs = graph_downsampling_probabilities(loopy)
+        legal = np.unique(1.0 / probs)
+        assert np.isin(w1, legal).all()
+
+    def test_full_lightne_pipeline(self, loopy):
+        from repro.embedding.lightne import LightNEParams, lightne_embedding
+
+        result = lightne_embedding(
+            loopy, LightNEParams(dimension=2, window=2), seed=0
+        )
+        assert result.vectors.shape == (loopy.num_vertices, 2)
+        assert np.isfinite(result.vectors).all()
+
+    def test_only_self_loops_rejected(self):
+        g = from_edges([0, 1], [0, 1], drop_self_loops=False, num_vertices=2)
+        config = PathSamplingConfig(window=2, num_samples=10)
+        with pytest.raises(SamplingError):
+            sample_sparsifier_edges(g, config, seed=0)
+
+
+class TestParallelSampling:
+    """The batch/worker restructure: fixed-size slabs, per-batch-index RNG
+    streams, bit-identical output for every worker count."""
+
+    CONFIG = PathSamplingConfig(window=4, num_samples=6000, downsample=True)
+
+    def test_worker_determinism(self, er_graph):
+        serial = sample_sparsifier_edges(
+            er_graph, self.CONFIG, seed=11, workers=1, batch_size=500
+        )
+        threaded = sample_sparsifier_edges(
+            er_graph, self.CONFIG, seed=11, workers=4, batch_size=500
+        )
+        for a, b in zip(serial[:3], threaded[:3]):
+            np.testing.assert_array_equal(a, b)
+        assert serial[3] == threaded[3]
+
+    def test_workers_none_resolves_to_default(self, er_graph):
+        u, _, _, draws = sample_sparsifier_edges(
+            er_graph, self.CONFIG, seed=12, workers=None
+        )
+        assert u.size <= draws
+
+    def test_batch_size_honored_with_workers(self, er_graph, monkeypatch):
+        """The walk kernel must only ever see slabs of <= batch_size seeds,
+        also on the threaded path (it used to get one chunk per worker)."""
+        import repro.sparsifier.path_sampling as ps
+
+        sizes = []
+        original = ps.path_sample_pairs
+
+        def recording(graph, seed_u, seed_v, lengths, seed=None):
+            sizes.append(seed_u.size)
+            return original(graph, seed_u, seed_v, lengths, seed)
+
+        monkeypatch.setattr(ps, "path_sample_pairs", recording)
+        batch_size = 97
+        stats = {}
+        sample_sparsifier_edges(
+            er_graph, self.CONFIG, seed=13, workers=4,
+            batch_size=batch_size, stats=stats,
+        )
+        assert sizes, "walk kernel never invoked"
+        assert max(sizes) <= batch_size
+        assert len(sizes) == stats["batches"]
+        assert stats["batches"] == -(-stats["walk_samples"] // batch_size)
+
+    def test_stats_populated(self, er_graph):
+        stats = {}
+        _, _, _, draws = sample_sparsifier_edges(
+            er_graph, self.CONFIG, seed=14, workers=2, batch_size=1000,
+            stats=stats,
+        )
+        assert stats["draws"] == draws
+        assert stats["workers"] == 2
+        assert stats["batch_size"] == 1000
+        assert stats["batches"] >= 1
+
+    def test_seed_sequence_input(self, er_graph):
+        seq = np.random.SeedSequence(77)
+        a = sample_sparsifier_edges(er_graph, self.CONFIG, seed=np.random.SeedSequence(77), workers=1)
+        b = sample_sparsifier_edges(er_graph, self.CONFIG, seed=seq, workers=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[2], b[2])

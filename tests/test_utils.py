@@ -9,7 +9,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.utils.parallel import chunk_ranges, parallel_map
-from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.rng import derive_seed, ensure_rng, spawn_batch_rngs, spawn_rngs
 from repro.utils.timer import StageTimer, Timer
 from repro.utils.validation import (
     as_int_array,
@@ -65,6 +65,48 @@ class TestSpawnRngs:
     def test_from_generator(self):
         children = spawn_rngs(np.random.default_rng(1), 2)
         assert len(children) == 2
+
+
+class TestSpawnBatchRngs:
+    def test_count_and_reproducibility(self):
+        first = [g.random(3) for g in spawn_batch_rngs(5, 3)]
+        second = [g.random(3) for g in spawn_batch_rngs(5, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_prefix_stable_across_counts(self):
+        # Unlike spawn_rngs with a Generator parent, the stream for batch i
+        # must not depend on how many batches exist in total.
+        few = [g.random(4) for g in spawn_batch_rngs(9, 2)]
+        many = [g.random(4) for g in spawn_batch_rngs(9, 6)]
+        for x, y in zip(few, many):
+            np.testing.assert_array_equal(x, y)
+
+    def test_generator_input_consumes_one_draw(self):
+        # The parent generator must advance identically no matter the count,
+        # so downstream consumers see the same rng state.
+        a = np.random.default_rng(3)
+        b = np.random.default_rng(3)
+        spawn_batch_rngs(a, 2)
+        spawn_batch_rngs(b, 10)
+        np.testing.assert_array_equal(a.random(5), b.random(5))
+
+    def test_seed_sequence_input(self):
+        x = [g.random(2) for g in spawn_batch_rngs(np.random.SeedSequence(4), 3)]
+        y = [g.random(2) for g in spawn_batch_rngs(np.random.SeedSequence(4), 3)]
+        for u, v in zip(x, y):
+            np.testing.assert_array_equal(u, v)
+
+    def test_children_independent(self):
+        a, b = spawn_batch_rngs(7, 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_zero_count(self):
+        assert spawn_batch_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_batch_rngs(0, -1)
 
 
 class TestDeriveSeed:
@@ -128,6 +170,42 @@ class TestStageTimer:
         timer.add("sparsifier", 1.5)
         text = timer.format()
         assert "sparsifier" in text and "total" in text
+
+    def test_counter_set_get(self):
+        timer = StageTimer()
+        timer.set_counter("sparsifier", "workers", 4)
+        assert timer.get_counter("sparsifier", "workers") == 4
+        assert timer.get_counter("sparsifier", "missing", default=-1.0) == -1.0
+        assert timer.get_counter("nope", "workers") == 0.0
+
+    def test_counter_overwrites(self):
+        timer = StageTimer()
+        timer.set_counter("s", "batches", 1)
+        timer.set_counter("s", "batches", 9)
+        assert timer.get_counter("s", "batches") == 9
+
+    def test_counter_rows_follow_stage_order(self):
+        timer = StageTimer()
+        timer.add("svd", 1.0)
+        timer.add("sparsifier", 1.0)
+        timer.set_counter("sparsifier", "samples_per_sec", 10.5)
+        timer.set_counter("svd", "rank", 32)
+        timer.set_counter("orphan", "x", 1)  # counter without a timed stage
+        rows = timer.counter_rows()
+        assert rows == [
+            ("svd", "rank", 32),
+            ("sparsifier", "samples_per_sec", 10.5),
+            ("orphan", "x", 1),
+        ]
+
+    def test_format_includes_counters(self):
+        timer = StageTimer()
+        timer.add("sparsifier", 0.5)
+        timer.set_counter("sparsifier", "samples_per_sec", 1234567.0)
+        timer.set_counter("sparsifier", "batches", 3)
+        text = timer.format()
+        assert "sparsifier.samples_per_sec = 1,234,567" in text
+        assert "sparsifier.batches = 3" in text
 
 
 class TestValidation:
