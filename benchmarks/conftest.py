@@ -5,6 +5,10 @@ Each ``bench_e*.py`` file reproduces one table or figure from the paper
 pytest-benchmark and emit the paper-style rows through :func:`report_table`,
 which prints them in the terminal summary (so they survive pytest's output
 capture) and appends them to ``benchmarks/results/report.txt``.
+
+Set ``REPRO_TELEMETRY=1`` to run the benchmarks with the telemetry subsystem
+enabled; the metrics-registry snapshot is then written to
+``benchmarks/results/metrics.json`` alongside the report.
 """
 
 from __future__ import annotations
@@ -36,7 +40,21 @@ def table():
     return report_table
 
 
+def pytest_configure(config):
+    if os.environ.get("REPRO_TELEMETRY"):
+        from repro import telemetry
+
+        telemetry.enable()
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if os.environ.get("REPRO_TELEMETRY"):
+        from benchmarks.harness import write_metrics_snapshot
+
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        written = write_metrics_snapshot(os.path.join(RESULTS_DIR, "metrics.json"))
+        if written:
+            terminalreporter.write_line(f"telemetry metrics -> {written}")
     if not _TABLES:
         return
     terminalreporter.section("paper-table reproductions")

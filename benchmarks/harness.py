@@ -133,3 +133,22 @@ def cost_of(method: str, seconds: float) -> float:
 def load(name: str):
     """Dataset loader with the harness-wide seed."""
     return load_dataset(name, seed=SEED)
+
+
+def write_metrics_snapshot(path: str) -> Optional[str]:
+    """Dump the telemetry metrics registry as JSON to ``path``.
+
+    No-op (returns ``None``) when telemetry is disabled or nothing was
+    recorded; otherwise returns ``path``.  The benchmark conftest calls this
+    so metric snapshots land in ``benchmarks/results/`` next to
+    ``report.txt`` when the run was launched with ``REPRO_TELEMETRY=1``.
+    """
+    from repro import telemetry
+
+    if not telemetry.is_enabled():
+        return None
+    registry = telemetry.get_metrics()
+    if not registry.names():
+        return None
+    registry.write_json(path)
+    return path

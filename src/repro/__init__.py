@@ -69,6 +69,7 @@ from repro.eval import (
 )
 from repro.datasets import load_dataset, dataset_names
 from repro.systems import estimate_cost
+from repro import telemetry
 
 __version__ = "1.0.0"
 
@@ -130,4 +131,6 @@ __all__ = [
     "load_dataset",
     "dataset_names",
     "estimate_cost",
+    # observability
+    "telemetry",
 ]

@@ -11,6 +11,13 @@ Subcommands
 ``eval-nc`` / ``eval-lp``
     Run the node-classification / link-prediction protocols on saved
     embeddings.
+
+Observability flags (every subcommand, see ``docs/observability.md``):
+``--verbose`` turns on the library's DEBUG log lines
+(:func:`repro.utils.log.configure_logging`; ``REPRO_LOG`` also works),
+``--trace-out t.json`` writes a Chrome/Perfetto trace of the run,
+``--metrics-out m.json`` writes the metrics-registry snapshot, and
+``--profile-memory`` samples RSS in the background and reports the peak.
 """
 
 from __future__ import annotations
@@ -284,6 +291,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="sparsifier thread-pool width (default: one per core, "
                  "capped at 8); output is bit-identical for every value",
         )
+        p.add_argument(
+            "--verbose", "-v", action="store_true",
+            help="emit the library's DEBUG log lines (stage boundaries, "
+                 "sample counts); REPRO_LOG=<level> sets a custom level",
+        )
+        p.add_argument(
+            "--trace-out", metavar="PATH",
+            help="enable span tracing and write a Chrome trace-event JSON "
+                 "(open in Perfetto or chrome://tracing)",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="PATH",
+            help="enable telemetry and write the metrics-registry snapshot "
+                 "(counters/gauges/histograms) as JSON",
+        )
+        p.add_argument(
+            "--profile-memory", action="store_true",
+            help="sample RSS on a background thread and report the peak "
+                 "(adds memory gauges to --metrics-out)",
+        )
 
     p_embed = sub.add_parser("embed", help="compute an embedding")
     add_common(p_embed)
@@ -346,11 +373,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_with_telemetry(args: argparse.Namespace) -> int:
+    """Run ``args.func`` under the requested observability instrumentation."""
+    import os
+
+    from repro import telemetry
+    from repro.utils.log import configure_logging
+
+    if getattr(args, "verbose", False):
+        configure_logging("DEBUG")
+    elif os.environ.get("REPRO_LOG"):
+        configure_logging()
+
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    profile_mem = getattr(args, "profile_memory", False)
+    wants_telemetry = bool(trace_out or metrics_out or profile_mem)
+    if not wants_telemetry:
+        return args.func(args)
+
+    tracer = telemetry.enable()
+    telemetry.reset_metrics()
+    try:
+        with telemetry.span("cli", command=args.command) as root:
+            if profile_mem:
+                with telemetry.profile_memory(span=root) as sampler:
+                    code = args.func(args)
+                profile = sampler.profile
+                if profile is not None and profile.rss_peak_bytes is not None:
+                    print(
+                        f"peak RSS {profile.rss_peak_bytes / (1 << 20):,.1f} MiB "
+                        f"({profile.num_samples} samples)"
+                    )
+            else:
+                code = args.func(args)
+    finally:
+        if trace_out:
+            tracer.write_chrome_trace(trace_out)
+            print(f"trace ({tracer.span_count} spans) -> {trace_out}")
+        if metrics_out:
+            telemetry.get_metrics().write_json(metrics_out)
+            print(f"metrics -> {metrics_out}")
+        telemetry.disable()
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    return _run_with_telemetry(args)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Union
 
+from repro import telemetry
 from repro.embedding.base import EmbeddingResult, validate_dimension
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
@@ -126,6 +127,11 @@ def lightne_embedding(
     Returns an :class:`EmbeddingResult` whose ``timer`` holds the Table-5
     stage breakdown and whose ``info`` records sampling statistics
     (draw count, sparsifier nnz, downsampling state).
+
+    When telemetry is enabled (:func:`repro.telemetry.enable`) the run is
+    traced under a ``lightne`` root span — stages, per-batch sampling and
+    per-iteration SVD/propagation children — and ``info["telemetry"]``
+    carries a snapshot of the metrics registry.
     """
     validate_dimension(graph.num_vertices, params.dimension)
     rng = ensure_rng(seed)
@@ -143,50 +149,69 @@ def lightne_embedding(
         graph.num_vertices, graph.num_edges, config.window,
         config.num_samples, config.downsample,
     )
-    sparsifier = build_netmf_sparsifier(
-        graph, config, rng, aggregator=params.aggregator, timer=timer,
-        workers=params.workers, batch_size=params.batch_size,
-    )
-    logger.debug(
-        "lightne: sparsifier nnz=%d from %d draws (%.1f%% of draws kept "
-        "distinct)", sparsifier.nnz, sparsifier.num_draws,
-        100.0 * sparsifier.nnz / max(1, sparsifier.num_draws),
-    )
-    with timer.stage("svd"):
-        matrix = sparsifier_to_netmf_matrix(
-            graph, sparsifier, negative_samples=params.negative_samples
+    with telemetry.span(
+        "lightne",
+        n=graph.num_vertices,
+        m=graph.num_edges,
+        dimension=params.dimension,
+        window=params.window,
+        sample_multiplier=params.sample_multiplier,
+        aggregator=params.aggregator,
+    ) as root_span:
+        sparsifier = build_netmf_sparsifier(
+            graph, config, rng, aggregator=params.aggregator, timer=timer,
+            workers=params.workers, batch_size=params.batch_size,
         )
-        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=rng)
-        vectors = embedding_from_svd(u, sigma)
-    if params.propagate:
-        with timer.stage("propagation"):
-            vectors = spectral_propagation(
-                graph,
-                vectors,
-                order=params.propagation_order,
-                mu=params.mu,
-                theta=params.theta,
+        logger.debug(
+            "lightne: sparsifier nnz=%d from %d draws (%.1f%% of draws kept "
+            "distinct)", sparsifier.nnz, sparsifier.num_draws,
+            100.0 * sparsifier.nnz / max(1, sparsifier.num_draws),
+        )
+        with timer.stage("svd", rank=params.dimension):
+            matrix = sparsifier_to_netmf_matrix(
+                graph, sparsifier, negative_samples=params.negative_samples
             )
+            u, sigma, _ = randomized_svd(matrix, params.dimension, seed=rng)
+            vectors = embedding_from_svd(u, sigma)
+        if params.propagate:
+            with timer.stage("propagation", order=params.propagation_order):
+                vectors = spectral_propagation(
+                    graph,
+                    vectors,
+                    order=params.propagation_order,
+                    mu=params.mu,
+                    theta=params.theta,
+                )
+        root_span.set_attribute("sparsifier_nnz", sparsifier.nnz)
     logger.debug(
         "lightne: done in %.3fs (%s)", timer.total,
         ", ".join(f"{k}={v:.3f}s" for k, v in timer.as_rows()),
     )
+    info = {
+        "window": params.window,
+        "sample_multiplier": params.sample_multiplier,
+        "num_draws": sparsifier.num_draws,
+        "sparsifier_nnz": sparsifier.nnz,
+        "downsample": params.downsample,
+        "propagated": params.propagate,
+        "workers": int(sparsifier.stats.get("workers", 1)),
+        "sparsifier_batches": int(sparsifier.stats.get("batches", 0)),
+        "samples_per_sec": float(sparsifier.stats.get("samples_per_sec", 0.0)),
+        "peak_table_bytes": int(sparsifier.stats.get("peak_table_bytes", 0)),
+        "telemetry_enabled": telemetry.is_enabled(),
+    }
+    if telemetry.is_enabled():
+        # Snapshot of the process-global registry (cumulative within this
+        # process — see docs/observability.md).
+        info["telemetry"] = {
+            "metrics": telemetry.get_metrics().snapshot(),
+            "trace_spans": telemetry.get_tracer().span_count,
+        }
     return EmbeddingResult(
         vectors=vectors,
         method="lightne",
         timer=timer,
-        info={
-            "window": params.window,
-            "sample_multiplier": params.sample_multiplier,
-            "num_draws": sparsifier.num_draws,
-            "sparsifier_nnz": sparsifier.nnz,
-            "downsample": params.downsample,
-            "propagated": params.propagate,
-            "workers": int(sparsifier.stats.get("workers", 1)),
-            "sparsifier_batches": int(sparsifier.stats.get("batches", 0)),
-            "samples_per_sec": float(sparsifier.stats.get("samples_per_sec", 0.0)),
-            "peak_table_bytes": int(sparsifier.stats.get("peak_table_bytes", 0)),
-        },
+        info=info,
     )
 
 

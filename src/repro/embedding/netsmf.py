@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro import telemetry
 from repro.embedding.base import EmbeddingResult, validate_dimension
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
@@ -91,5 +92,6 @@ def netsmf_embedding(
             "num_draws": result.num_draws,
             "sparsifier_nnz": result.nnz,
             "sample_multiplier": params.sample_multiplier,
+            "telemetry_enabled": telemetry.is_enabled(),
         },
     )

@@ -28,6 +28,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import telemetry
 from repro.errors import FactorizationError
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -96,23 +97,31 @@ def randomized_svd(
     sketch = min(rank + oversampling, min(rows, cols))
 
     # Line 1-3: Y = Aᵀ O, orthonormalized.
-    omega = rng.standard_normal((rows, sketch))
-    y = _orthonormalize(_rmatmat(matrix, omega))
+    with telemetry.span("svd.range_finder", rank=rank, sketch=sketch):
+        omega = rng.standard_normal((rows, sketch))
+        y = _orthonormalize(_rmatmat(matrix, omega))
     # Optional subspace iteration (QR-stabilized).
-    for _ in range(power_iterations):
-        y = _orthonormalize(_rmatmat(matrix, _orthonormalize(_matmat(matrix, y))))
-    # Line 4: B = A Y  (n × sketch).
-    b = _matmat(matrix, y)
-    # Lines 5-6: Z = orth(B P) with P Gaussian (sketch × sketch).
-    p = rng.standard_normal((sketch, sketch))
-    z = _orthonormalize(b @ p)
-    # Lines 7-8: small SVD of C = Zᵀ B.
-    c = z.T @ b
-    u_small, sigma, vt_small = np.linalg.svd(c, full_matrices=False)
-    # Line 9: map back. Columns of (Z U) approximate left singular vectors of
-    # A restricted to range(Y); right vectors are Y V.
-    u = z @ u_small[:, :rank]
-    vt = (y @ vt_small[:rank].T).T
+    for iteration in range(power_iterations):
+        with telemetry.span("svd.power_iteration", iteration=iteration) as span:
+            y = _orthonormalize(
+                _rmatmat(matrix, _orthonormalize(_matmat(matrix, y)))
+            )
+        elapsed = getattr(span, "duration", None)
+        if elapsed is not None:
+            telemetry.histogram("svd.iteration_seconds").observe(elapsed)
+    with telemetry.span("svd.factorize", sketch=sketch):
+        # Line 4: B = A Y  (n × sketch).
+        b = _matmat(matrix, y)
+        # Lines 5-6: Z = orth(B P) with P Gaussian (sketch × sketch).
+        p = rng.standard_normal((sketch, sketch))
+        z = _orthonormalize(b @ p)
+        # Lines 7-8: small SVD of C = Zᵀ B.
+        c = z.T @ b
+        u_small, sigma, vt_small = np.linalg.svd(c, full_matrices=False)
+        # Line 9: map back. Columns of (Z U) approximate left singular
+        # vectors of A restricted to range(Y); right vectors are Y V.
+        u = z @ u_small[:, :rank]
+        vt = (y @ vt_small[:rank].T).T
     return u, sigma[:rank], vt
 
 

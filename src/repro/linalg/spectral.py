@@ -25,6 +25,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.special import iv
 
+from repro import telemetry
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
@@ -78,24 +79,30 @@ def chebyshev_gaussian_filter(
     if order == 1:
         return x.copy()
 
-    da = _row_normalized_adjacency(graph)
-    n = graph.num_vertices
-    laplacian = sp.eye(n, format="csr") - da
-    modulated = (laplacian - mu * sp.eye(n, format="csr")).tocsr()
+    with telemetry.span("propagation.operator"):
+        da = _row_normalized_adjacency(graph)
+        n = graph.num_vertices
+        laplacian = sp.eye(n, format="csr") - da
+        modulated = (laplacian - mu * sp.eye(n, format="csr")).tocsr()
 
     # Chebyshev recurrence (ProNE's exact update rule).
-    lx0 = x
-    lx1 = modulated @ x
-    lx1 = 0.5 * (modulated @ lx1) - x
-    conv = iv(0, theta) * lx0
-    conv -= 2.0 * iv(1, theta) * lx1
+    with telemetry.span("propagation.chebyshev_term", term=0):
+        lx0 = x
+        lx1 = modulated @ x
+        lx1 = 0.5 * (modulated @ lx1) - x
+        conv = iv(0, theta) * lx0
+        conv -= 2.0 * iv(1, theta) * lx1
     sign = 1.0
     for i in range(2, order):
-        lx2 = modulated @ lx1
-        lx2 = (modulated @ lx2 - 2.0 * lx1) - lx0
-        conv += sign * 2.0 * iv(i, theta) * lx2
-        sign = -sign
-        lx0, lx1 = lx1, lx2
+        with telemetry.span("propagation.chebyshev_term", term=i) as span:
+            lx2 = modulated @ lx1
+            lx2 = (modulated @ lx2 - 2.0 * lx1) - lx0
+            conv += sign * 2.0 * iv(i, theta) * lx2
+            sign = -sign
+            lx0, lx1 = lx1, lx2
+        elapsed = getattr(span, "duration", None)
+        if elapsed is not None:
+            telemetry.histogram("propagation.term_seconds").observe(elapsed)
     adjacency_plus_i = da  # one more smoothing hop, as in ProNE
     return np.asarray(adjacency_plus_i @ (x - conv))
 
@@ -135,4 +142,5 @@ def spectral_propagation(
     filtered = chebyshev_gaussian_filter(
         graph, embedding, order=order, mu=mu, theta=theta
     )
-    return rescale_embedding(filtered, embedding.shape[1])
+    with telemetry.span("propagation.rescale", dimension=embedding.shape[1]):
+        return rescale_embedding(filtered, embedding.shape[1])

@@ -28,10 +28,33 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.sparsifier.hashtable import SparseParallelHashTable, hash_partition
+from repro.telemetry.metrics import PROBE_BUCKETS
 from repro.utils.parallel import default_workers, parallel_map
 
 Triple = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _record_table_metrics(table: SparseParallelHashTable, kind: str) -> None:
+    """Publish a table's probe/occupancy figures to the metrics registry.
+
+    No-ops (cheap: one ``is_enabled`` check) when telemetry is disabled.
+    ``kind`` distinguishes the shared table from shard/merge tables.
+    """
+    if not telemetry.is_enabled():
+        return
+    metrics = telemetry.get_metrics()
+    if table.insert_calls:
+        metrics.histogram("hashtable.probe_rounds", PROBE_BUCKETS).observe(
+            table.total_probe_rounds / table.insert_calls
+        )
+    metrics.gauge(f"hashtable.{kind}.load_factor").set(table.load_factor)
+    metrics.gauge(f"hashtable.{kind}.max_probe_rounds").set_max(
+        table.max_probe_rounds
+    )
+    metrics.counter("hashtable.distinct_keys").inc(len(table))
+    metrics.gauge("hashtable.table_bytes").set_max(table.size_in_bytes())
 
 
 def _as_arrays(rows, cols, values) -> Triple:
@@ -54,13 +77,18 @@ def aggregate_hash(
 ) -> Triple:
     """Aggregate with the shared sparse parallel hash table (paper's choice)."""
     rows, cols, values = _as_arrays(rows, cols, values)
-    table = SparseParallelHashTable(capacity_hint=max(1024, rows.size // 4))
-    for start in range(0, rows.size, batch_size):
-        stop = start + batch_size
-        table.add_pairs(rows[start:stop], cols[start:stop], values[start:stop], n)
+    with telemetry.span("aggregate.hash", samples=int(rows.size)):
+        table = SparseParallelHashTable(capacity_hint=max(1024, rows.size // 4))
+        for start in range(0, rows.size, batch_size):
+            stop = start + batch_size
+            table.add_pairs(
+                rows[start:stop], cols[start:stop], values[start:stop], n
+            )
+    _record_table_metrics(table, "shared")
     if stats is not None:
         stats["peak_table_bytes"] = table.size_in_bytes()
         stats["distinct"] = len(table)
+        stats["probe_rounds"] = table.total_probe_rounds
     return table.to_pairs(n)
 
 
@@ -103,28 +131,37 @@ def aggregate_hash_sharded(
         return rows, cols, values
     keys = rows * np.int64(n) + cols
     shard_of = hash_partition(keys, num_shards)
+    # Shard spans run on pool threads; parent them to the caller's span.
+    parent_span = telemetry.current_span()
 
-    def build_shard(shard_keys: np.ndarray, shard_values: np.ndarray):
-        table = SparseParallelHashTable(
-            capacity_hint=max(64, shard_keys.size // 4)
-        )
-        for start in range(0, shard_keys.size, batch_size):
-            stop = start + batch_size
-            table.add_batch(shard_keys[start:stop], shard_values[start:stop])
+    def build_shard(shard: int, shard_keys: np.ndarray, shard_values: np.ndarray):
+        with telemetry.span(
+            "aggregate.shard", parent=parent_span,
+            shard=shard, keys=int(shard_keys.size),
+        ):
+            table = SparseParallelHashTable(
+                capacity_hint=max(64, shard_keys.size // 4)
+            )
+            for start in range(0, shard_keys.size, batch_size):
+                stop = start + batch_size
+                table.add_batch(shard_keys[start:stop], shard_values[start:stop])
+        _record_table_metrics(table, "shard")
         return table
 
     args = []
     for shard in range(num_shards):
         members = shard_of == shard
-        args.append((keys[members], values[members]))
+        args.append((shard, keys[members], values[members]))
     shards = parallel_map(build_shard, args, workers=workers)
 
-    merged = SparseParallelHashTable(
-        capacity_hint=max(1024, sum(len(t) for t in shards))
-    )
-    for table in shards:
-        shard_keys, shard_values = table.items()
-        merged.add_batch(shard_keys, shard_values)
+    with telemetry.span("aggregate.merge", shards=num_shards):
+        merged = SparseParallelHashTable(
+            capacity_hint=max(1024, sum(len(t) for t in shards))
+        )
+        for table in shards:
+            shard_keys, shard_values = table.items()
+            merged.add_batch(shard_keys, shard_values)
+    _record_table_metrics(merged, "merged")
     if stats is not None:
         shard_bytes = sum(t.size_in_bytes() for t in shards)
         # Shard tables and the merged table coexist during the merge.
@@ -132,6 +169,9 @@ def aggregate_hash_sharded(
         stats["shard_table_bytes"] = shard_bytes
         stats["num_shards"] = num_shards
         stats["distinct"] = len(merged)
+        stats["probe_rounds"] = merged.total_probe_rounds + sum(
+            t.total_probe_rounds for t in shards
+        )
     return merged.to_pairs(n)
 
 

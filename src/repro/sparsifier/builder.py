@@ -34,6 +34,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry
 from repro.errors import SamplingError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
@@ -138,31 +139,34 @@ def build_netmf_sparsifier(
     n = graph.num_vertices
     timer = timer if timer is not None else StageTimer()
     stats: Dict[str, float] = {}
-    with timer.stage("sparsifier"):
+    with timer.stage("sparsifier", aggregator=aggregator, workers=workers):
         tic = time.perf_counter()
-        u, v, w, draws = sample_sparsifier_edges(
-            graph, config, rng, batch_size=batch_size, workers=workers,
-            stats=stats,
-        )
+        with telemetry.span("sparsifier.sampling"):
+            u, v, w, draws = sample_sparsifier_edges(
+                graph, config, rng, batch_size=batch_size, workers=workers,
+                stats=stats,
+            )
         stats["sampling_seconds"] = time.perf_counter() - tic
         stats["samples_per_sec"] = u.size / max(stats["sampling_seconds"], 1e-12)
         tic = time.perf_counter()
-        if aggregator == "hash":
-            rows, cols, vals = aggregate_hash(u, v, w, n, stats=stats)
-        elif aggregator == "hash-sharded":
-            # Fixed shard count: the decomposition (and hence the fp
-            # summation order) must not depend on ``workers``, mirroring the
-            # batch_size design in sampling.  Workers only map shards to
-            # threads.
-            rows, cols, vals = aggregate_hash_sharded(
-                u, v, w, n, workers=workers, num_shards=8, stats=stats
-            )
-        elif aggregator == "sort":
-            rows, cols, vals = aggregate_sort(u, v, w, n)
-        else:
-            raise SamplingError(f"unknown aggregator {aggregator!r}")
+        with telemetry.span("sparsifier.aggregation", aggregator=aggregator):
+            if aggregator == "hash":
+                rows, cols, vals = aggregate_hash(u, v, w, n, stats=stats)
+            elif aggregator == "hash-sharded":
+                # Fixed shard count: the decomposition (and hence the fp
+                # summation order) must not depend on ``workers``, mirroring
+                # the batch_size design in sampling.  Workers only map shards
+                # to threads.
+                rows, cols, vals = aggregate_hash_sharded(
+                    u, v, w, n, workers=workers, num_shards=8, stats=stats
+                )
+            elif aggregator == "sort":
+                rows, cols, vals = aggregate_sort(u, v, w, n)
+            else:
+                raise SamplingError(f"unknown aggregator {aggregator!r}")
         stats["aggregation_seconds"] = time.perf_counter() - tic
         counts = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+        telemetry.gauge("sparsifier.nnz").set(counts.nnz)
     for name in (
         "walk_samples", "batches", "workers", "samples_per_sec",
         "peak_table_bytes",

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import SamplingError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
@@ -153,6 +154,10 @@ def sample_sparsifier_edges(
 
     ``stats``, when given, receives sampling counters: realized draws,
     surviving walk samples, batch count/size and the resolved worker count.
+    When telemetry is enabled (:func:`repro.telemetry.enable`) each slab is
+    additionally traced as a ``sparsifier.batch`` span under the caller's
+    current span, with per-batch latency and sample-count metrics recorded
+    in the global registry.
     """
     rng = ensure_rng(seed)
     if workers is None:
@@ -203,17 +208,31 @@ def sample_sparsifier_edges(
         survive = rng.random(seed_edge.size) < probs[seed_edge]
         seed_edge = seed_edge[survive]
     walk_graph = graph  # walks run on the (possibly compressed) original
+    # Batch spans run on pool threads, which carry no current-span stack —
+    # capture the parent here (the sparsifier/sampling span when tracing).
+    parent_span = telemetry.current_span()
 
-    def walk_chunk(batch: np.ndarray, chunk_rng: np.random.Generator):
-        lengths = chunk_rng.integers(1, config.window + 1, size=batch.size)
-        # Randomize seed orientation: (u,v) vs (v,u) — the uniform-edge
-        # process is orientation-symmetric.
-        flip = chunk_rng.random(batch.size) < 0.5
-        s_u = np.where(flip, dst[batch], src[batch])
-        s_v = np.where(flip, src[batch], dst[batch])
-        u_prime, v_prime = path_sample_pairs(
-            walk_graph, s_u, s_v, lengths, chunk_rng
-        )
+    def walk_chunk(
+        index: int, batch: np.ndarray, chunk_rng: np.random.Generator
+    ):
+        with telemetry.span(
+            "sparsifier.batch", parent=parent_span,
+            batch=index, size=int(batch.size),
+        ) as span:
+            lengths = chunk_rng.integers(1, config.window + 1, size=batch.size)
+            # Randomize seed orientation: (u,v) vs (v,u) — the uniform-edge
+            # process is orientation-symmetric.
+            flip = chunk_rng.random(batch.size) < 0.5
+            s_u = np.where(flip, dst[batch], src[batch])
+            s_v = np.where(flip, src[batch], dst[batch])
+            u_prime, v_prime = path_sample_pairs(
+                walk_graph, s_u, s_v, lengths, chunk_rng
+            )
+        elapsed = getattr(span, "duration", None)
+        if elapsed is not None:
+            telemetry.histogram("sparsifier.batch_seconds").observe(elapsed)
+            telemetry.counter("sparsifier.batches").inc()
+            telemetry.counter("sparsifier.walk_samples").inc(batch.size)
         return u_prime, v_prime, 1.0 / probs[batch]
 
     starts = list(range(0, seed_edge.size, batch_size))
@@ -232,10 +251,11 @@ def sample_sparsifier_edges(
     # independent of how many threads execute them.
     batch_rngs = spawn_batch_rngs(rng, len(starts))
     args = [
-        (seed_edge[start : start + batch_size], batch_rng)
-        for start, batch_rng in zip(starts, batch_rngs)
+        (index, seed_edge[start : start + batch_size], batch_rng)
+        for index, (start, batch_rng) in enumerate(zip(starts, batch_rngs))
     ]
     results = parallel_map(walk_chunk, args, workers=workers)
+    telemetry.counter("sparsifier.draws").inc(total_draws)
     return (
         np.concatenate([r[0] for r in results]),
         np.concatenate([r[1] for r in results]),

@@ -1,0 +1,90 @@
+"""repro.telemetry — hierarchical tracing, metrics and memory profiling.
+
+The observability substrate for the whole pipeline (see
+``docs/observability.md``).  Three pieces:
+
+* **Spans** (:mod:`repro.telemetry.tracer`) — nested, thread-aware timed
+  intervals forming a trace tree, exportable as Chrome trace-event JSON
+  (Perfetto / ``chrome://tracing``) or a JSONL event stream;
+* **Metrics** (:mod:`repro.telemetry.metrics`) — counters, gauges and
+  fixed-bucket histograms in a snapshot-able registry;
+* **Memory** (:mod:`repro.telemetry.memory`) — a background RSS /
+  ``tracemalloc`` peak sampler attachable to any span.
+
+Everything is **disabled by default** and the instrumentation left in the
+hot paths costs a single gated function call in that state.  Typical use::
+
+    from repro import telemetry
+
+    tracer = telemetry.enable()
+    result = lightne_embedding(graph, params, seed=0)
+    tracer.write_chrome_trace("trace.json")          # open in Perfetto
+    telemetry.get_metrics().write_json("metrics.json")
+    telemetry.disable()
+
+or from the CLI: ``lightne embed ... --trace-out trace.json
+--metrics-out metrics.json --profile-memory``.
+"""
+
+from repro.telemetry.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    span,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    PROBE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_metrics,
+    histogram,
+    reset_metrics,
+)
+from repro.telemetry.memory import (
+    MemoryProfile,
+    MemorySampler,
+    current_rss_bytes,
+    peak_rss_bytes,
+    profile_memory,
+)
+
+__all__ = [
+    # tracer
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "span",
+    "current_span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "get_tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_metrics",
+    "reset_metrics",
+    "DEFAULT_LATENCY_BUCKETS",
+    "PROBE_BUCKETS",
+    # memory
+    "MemoryProfile",
+    "MemorySampler",
+    "profile_memory",
+    "current_rss_bytes",
+    "peak_rss_bytes",
+]

@@ -1,0 +1,239 @@
+"""Memory-profiling hooks: a background RSS / ``tracemalloc`` peak sampler.
+
+The paper's §5.2.4 memory story (how many samples fit in 1.5 TB) is modeled
+analytically in :mod:`repro.systems.memory`; this module measures the real
+process instead.  A :class:`MemorySampler` polls resident-set size on a
+daemon thread (``/proc/self/statm`` on Linux, ``resource.getrusage`` as the
+peak-only fallback) and optionally tracks Python-level allocations with
+``tracemalloc``.  :func:`profile_memory` wraps any block, attaches the
+resulting peak figures to a telemetry span, and publishes them as gauges in
+the metrics registry — this is the supported replacement for threading
+hand-rolled ``peak_*_bytes`` counters through call signatures.
+
+Usage::
+
+    with telemetry.span("embed") as sp, profile_memory(span=sp) as sampler:
+        result = lightne_embedding(graph, params)
+    sampler.profile.rss_peak_bytes
+
+Sampling is stdlib-only and degrades gracefully: on platforms without a
+readable RSS source the profile's fields are ``None`` and nothing crashes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+_STATM_PATH = "/proc/self/statm"
+
+
+def current_rss_bytes() -> Optional[int]:
+    """Resident-set size right now, or ``None`` when unreadable."""
+    try:
+        with open(_STATM_PATH, "rb") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """OS-reported lifetime peak RSS (``ru_maxrss``), or ``None``."""
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes; normalize to bytes.
+    if hasattr(os, "uname") and os.uname().sysname == "Darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+@dataclass
+class MemoryProfile:
+    """What a sampling window observed.
+
+    ``rss_*`` fields are ``None`` when the platform exposes no RSS source.
+    ``tracemalloc_peak_bytes`` is ``None`` unless allocation tracing was
+    requested.
+    """
+
+    rss_start_bytes: Optional[int] = None
+    rss_peak_bytes: Optional[int] = None
+    rss_end_bytes: Optional[int] = None
+    num_samples: int = 0
+    interval_s: float = 0.0
+    duration_s: float = 0.0
+    tracemalloc_peak_bytes: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (span attributes / JSON reports)."""
+        return {
+            "rss_start_bytes": self.rss_start_bytes,
+            "rss_peak_bytes": self.rss_peak_bytes,
+            "rss_end_bytes": self.rss_end_bytes,
+            "num_samples": self.num_samples,
+            "interval_s": self.interval_s,
+            "duration_s": self.duration_s,
+            "tracemalloc_peak_bytes": self.tracemalloc_peak_bytes,
+        }
+
+
+class MemorySampler:
+    """Background RSS poller with an optional ``tracemalloc`` window.
+
+    ``start()`` launches a daemon thread sampling every ``interval`` seconds;
+    ``stop()`` joins it and returns the :class:`MemoryProfile`.  Also usable
+    as a context manager (the profile is available as ``self.profile`` after
+    exit).
+    """
+
+    def __init__(
+        self, interval: float = 0.01, *, trace_allocations: bool = False
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.trace_allocations = trace_allocations
+        self.profile: Optional[MemoryProfile] = None
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._peak: Optional[int] = None
+        self._rss_start: Optional[int] = None
+        self._samples = 0
+        self._started_tracemalloc = False
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "MemorySampler":
+        """Begin sampling (idempotent start is an error)."""
+        if self._thread is not None:
+            raise RuntimeError("MemorySampler already started")
+        self._t0 = time.perf_counter()
+        self._rss_start = current_rss_bytes()
+        self._peak = self._rss_start
+        if self.trace_allocations:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            tracemalloc.reset_peak()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-memory-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            rss = current_rss_bytes()
+            if rss is None:
+                continue
+            self._samples += 1
+            if self._peak is None or rss > self._peak:
+                self._peak = rss
+
+    def stop(self) -> MemoryProfile:
+        """Stop sampling and return the observed profile."""
+        if self._thread is None:
+            raise RuntimeError("MemorySampler was never started")
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+        rss_end = current_rss_bytes()
+        peak = self._peak
+        if rss_end is not None and (peak is None or rss_end > peak):
+            peak = rss_end
+        tracemalloc_peak: Optional[int] = None
+        if self.trace_allocations:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                tracemalloc_peak = tracemalloc.get_traced_memory()[1]
+                if self._started_tracemalloc:
+                    tracemalloc.stop()
+        self.profile = MemoryProfile(
+            rss_start_bytes=self._rss_start,
+            rss_peak_bytes=peak,
+            rss_end_bytes=rss_end,
+            num_samples=self._samples,
+            interval_s=self.interval,
+            duration_s=time.perf_counter() - self._t0,
+            tracemalloc_peak_bytes=tracemalloc_peak,
+        )
+        return self.profile
+
+    def __enter__(self) -> "MemorySampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
+
+@contextmanager
+def profile_memory(
+    span=None,
+    *,
+    interval: float = 0.01,
+    trace_allocations: bool = False,
+    metrics=None,
+) -> Iterator[MemorySampler]:
+    """Sample memory around a block; publish the peak to ``span`` + gauges.
+
+    Parameters
+    ----------
+    span:
+        Optional telemetry span; receives ``rss_peak_bytes`` (and
+        ``tracemalloc_peak_bytes`` when tracing allocations) as attributes.
+    interval:
+        Polling period in seconds.
+    trace_allocations:
+        Also run a ``tracemalloc`` window (Python-level allocation peak;
+        slows allocation-heavy code, so off by default).
+    metrics:
+        Registry to publish ``memory.rss_peak_bytes`` gauges into; defaults
+        to the process-global registry when telemetry is enabled.
+    """
+    from repro.telemetry import metrics as metrics_mod
+    from repro.telemetry import tracer as tracer_mod
+
+    sampler = MemorySampler(interval, trace_allocations=trace_allocations)
+    sampler.start()
+    try:
+        yield sampler
+    finally:
+        profile = sampler.stop()
+        if span is not None and profile.rss_peak_bytes is not None:
+            span.set_attribute("rss_peak_bytes", profile.rss_peak_bytes)
+        if span is not None and profile.tracemalloc_peak_bytes is not None:
+            span.set_attribute(
+                "tracemalloc_peak_bytes", profile.tracemalloc_peak_bytes
+            )
+        registry = metrics
+        if registry is None and tracer_mod._tracer is not None:
+            registry = metrics_mod.get_metrics()
+        if registry is not None:
+            if profile.rss_peak_bytes is not None:
+                registry.gauge("memory.rss_peak_bytes").set_max(
+                    profile.rss_peak_bytes
+                )
+            if profile.tracemalloc_peak_bytes is not None:
+                registry.gauge("memory.tracemalloc_peak_bytes").set_max(
+                    profile.tracemalloc_peak_bytes
+                )

@@ -1,0 +1,311 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The quantitative side of the telemetry subsystem (the span tracer is the
+structural side).  Three instrument kinds, mirroring the Prometheus data
+model the rest of the ecosystem speaks:
+
+* :class:`Counter` — monotonically increasing totals (samples drawn, batches
+  walked, distinct sparsifier entries);
+* :class:`Gauge` — last-written values (hash-table load factor, peak RSS);
+* :class:`Histogram` — fixed-bucket distributions (per-batch sampling
+  latency, hash-table probe rounds, SVD iteration seconds).
+
+Instruments live in a :class:`MetricsRegistry`; :meth:`MetricsRegistry.snapshot`
+returns a plain-dict snapshot (JSON-serializable) and
+:meth:`MetricsRegistry.write_json` persists it.  All operations are
+thread-safe.
+
+Like tracing, metric *collection* is off by default: the module-level
+:func:`counter` / :func:`gauge` / :func:`histogram` helpers return shared
+no-op instruments until :func:`repro.telemetry.enable` installs a tracer,
+so instrumented hot paths cost one function call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+# Latency buckets in seconds: sub-millisecond through a minute, roughly
+# geometric.  Wide enough for per-batch sampling and per-iteration SVD times.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+# Probe-length buckets for the open-addressing hash table (rounds of linear
+# probing; >16 signals a pathological load factor).
+PROBE_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 32, 64)
+
+
+class Counter:
+    """Monotonic counter (thread-safe)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+
+class Gauge:
+    """Last-value-wins gauge with a remembered maximum (thread-safe)."""
+
+    __slots__ = ("name", "_value", "_max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record ``value`` as the gauge's current reading."""
+        value = float(value)
+        with self._lock:
+            self._value = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def set_max(self, value: float) -> None:
+        """Record ``value`` only if it exceeds the current reading."""
+        value = float(value)
+        with self._lock:
+            if self._value is None or value > self._value:
+                self._value = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def value(self) -> Optional[float]:
+        """Most recent reading (``None`` before the first ``set``)."""
+        return self._value
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest value ever set."""
+        return self._max
+
+
+class Histogram:
+    """Fixed-bucket histogram (thread-safe).
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    (``+inf``) is appended, so ``counts`` has ``len(buckets) + 1`` entries.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        # First bucket whose inclusive upper bound covers the value; values
+        # above every bound land in the implicit overflow bucket.
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (bounds, per-bucket counts, summary stats)."""
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "mean": self._sum / self._count if self._count else None,
+            }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op (telemetry disabled)."""
+
+    def set(self, value: float) -> None:
+        """No-op (telemetry disabled)."""
+
+    def set_max(self, value: float) -> None:
+        """No-op (telemetry disabled)."""
+
+    def observe(self, value: float) -> None:
+        """No-op (telemetry disabled)."""
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named instruments with a snapshot API."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ factories
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        """The histogram under ``name`` (``buckets`` only applies at creation)."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, buckets)
+            return instrument
+
+    # -------------------------------------------------------------- reading
+    def names(self) -> List[str]:
+        """All registered instrument names, sorted."""
+        with self._lock:
+            return sorted(
+                list(self._counters) + list(self._gauges) + list(self._histograms)
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-serializable snapshot of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {
+                name: {"value": g.value, "max": g.max}
+                for name, g in sorted(gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def write_json(self, path: Union[str, "os.PathLike"]) -> None:
+        """Persist :meth:`snapshot` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as out:
+            json.dump(self.snapshot(), out, indent=2)
+
+    def reset(self) -> None:
+        """Drop every instrument (fresh registry state)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# --------------------------------------------------------------------------
+# Process-global registry; gated helpers mirror tracer.span's fast path.
+# --------------------------------------------------------------------------
+
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry (always available, even when disabled)."""
+    return _registry
+
+
+def reset_metrics() -> None:
+    """Clear the process-global registry."""
+    _registry.reset()
+
+
+def counter(name: str):
+    """Global counter, or a shared no-op when telemetry is disabled."""
+    from repro.telemetry import tracer as _tracer_mod
+
+    if _tracer_mod._tracer is None:
+        return NULL_INSTRUMENT
+    return _registry.counter(name)
+
+
+def gauge(name: str):
+    """Global gauge, or a shared no-op when telemetry is disabled."""
+    from repro.telemetry import tracer as _tracer_mod
+
+    if _tracer_mod._tracer is None:
+        return NULL_INSTRUMENT
+    return _registry.gauge(name)
+
+
+def histogram(name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+    """Global histogram, or a shared no-op when telemetry is disabled."""
+    from repro.telemetry import tracer as _tracer_mod
+
+    if _tracer_mod._tracer is None:
+        return NULL_INSTRUMENT
+    return _registry.histogram(name, buckets)

@@ -1,0 +1,400 @@
+"""Hierarchical span tracer — the pipeline's structural clock.
+
+A :class:`Span` is a named, timed interval with attributes; spans nest into a
+tree (``lightne`` → ``sparsifier`` → ``sparsifier.batch`` …) that mirrors the
+call structure of the pipeline, across threads.  A :class:`Tracer` collects
+the tree and exports it two ways:
+
+* :meth:`Tracer.to_chrome_trace` / :meth:`Tracer.write_chrome_trace` — the
+  Chrome trace-event JSON format, loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``; one ``"X"`` (complete)
+  event per span, ``tid`` = OS thread id, attributes under ``args``;
+* :meth:`Tracer.iter_events` / :meth:`Tracer.write_jsonl` — a flat JSONL
+  stream (one JSON object per finished span, with ``id``/``parent_id``
+  links) for programmatic consumption.
+
+Tracing is **off by default** and designed to be left compiled-in: every
+instrumentation point calls :func:`span`, which returns a shared no-op
+context manager when no tracer is installed — no allocation, no timestamps,
+no locks.  Enable with :func:`enable` (or the CLI's ``--trace-out``).
+
+Parenting is thread-aware: each thread keeps its own current-span stack, so
+concurrent stages nest correctly.  Work dispatched to a pool inherits no
+stack — callers capture :func:`current_span` before dispatch and pass it as
+``parent=`` (see :func:`repro.sparsifier.path_sampling.sample_sparsifier_edges`
+for the idiom).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, Iterator, List, Optional, TextIO, Union
+
+_UNSET = object()
+
+
+def _json_safe(value: object) -> object:
+    """Coerce numpy scalars (and other oddballs) to JSON-encodable types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return value.item()
+        except Exception:  # pragma: no cover - defensive
+            return str(value)
+    return str(value)
+
+
+class Span:
+    """One named, timed interval in the trace tree.
+
+    Spans are context managers: entering records the start timestamp and
+    pushes the span onto the owning tracer's per-thread stack; exiting pops
+    it and records the end.  Attributes set at construction or via
+    :meth:`set_attribute` travel into both exporters.
+    """
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent", "start", "end",
+        "thread_id", "thread_name", "attributes", "children",
+        "_explicit_parent",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: object = _UNSET,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = -1
+        self.parent: Optional[Span] = None
+        self._explicit_parent = parent
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.thread_id = 0
+        self.thread_name = ""
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.children: List["Span"] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "Span":
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        if self._explicit_parent is _UNSET:
+            self.parent = self.tracer.current_span()
+        else:
+            self.parent = self._explicit_parent  # type: ignore[assignment]
+        self.tracer._register(self)
+        self.tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        self.tracer._pop(self)
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.tracer._finish(self)
+        return False
+
+    # ------------------------------------------------------------ attributes
+    def set_attribute(self, key: str, value: object) -> "Span":
+        """Attach ``key = value`` to the span (chainable)."""
+        self.attributes[key] = value
+        return self
+
+    def set_attributes(self, **attributes: object) -> "Span":
+        """Attach several attributes at once (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    # --------------------------------------------------------------- reading
+    @property
+    def duration(self) -> Optional[float]:
+        """Elapsed seconds, or ``None`` while the span is still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration:.6f}s" if self.end is not None else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: object) -> "_NullSpan":
+        """No-op (disabled tracing)."""
+        return self
+
+    def set_attributes(self, **attributes: object) -> "_NullSpan":
+        """No-op (disabled tracing)."""
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a span tree; exports Chrome trace JSON and JSONL events.
+
+    Thread-safe: spans may start/finish on any thread.  Each thread sees its
+    own current-span stack (:meth:`current_span`); registration into the
+    shared tree is guarded by a lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.roots: List[Span] = []
+        self._next_id = 0
+        self._finished = 0
+        self._listeners: List[Callable[[Span], None]] = []
+        # Epochs pair a wall-clock anchor with the perf_counter origin so
+        # exported timestamps are stable within the trace.
+        self.epoch_wall = time.time()
+        self.epoch_perf = time.perf_counter()
+
+    # ---------------------------------------------------------- span control
+    def span(self, name: str, parent: object = _UNSET, **attributes: object) -> Span:
+        """Create a span (use as a context manager).
+
+        ``parent`` defaults to the calling thread's current span; pass an
+        explicit span (or ``None`` for a root) when crossing threads.
+        """
+        return Span(self, name, parent=parent, attributes=attributes)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on *this* thread (``None`` at top level)."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return stack[-1]
+
+    def add_listener(self, callback: Callable[[Span], None]) -> None:
+        """Invoke ``callback(span)`` whenever a span finishes (JSONL sinks)."""
+        with self._lock:
+            self._listeners.append(callback)
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+
+    def _register(self, span: Span) -> None:
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            if span.parent is None:
+                self.roots.append(span)
+            else:
+                span.parent.children.append(span)
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._finished += 1
+            listeners = list(self._listeners)
+        for callback in listeners:
+            callback(span)
+
+    # --------------------------------------------------------------- reading
+    @property
+    def span_count(self) -> int:
+        """Number of spans started so far."""
+        return self._next_id
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first walk over the recorded span tree."""
+        with self._lock:
+            stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find_spans(self, name: str) -> List[Span]:
+        """All spans with the given ``name`` (depth-first order)."""
+        return [span for span in self.iter_spans() if span.name == name]
+
+    def span_tree(self) -> List[dict]:
+        """The trace as nested plain dicts (tests, quick inspection)."""
+
+        def render(span: Span) -> dict:
+            return {
+                "name": span.name,
+                "duration_s": span.duration,
+                "attributes": {
+                    k: _json_safe(v) for k, v in span.attributes.items()
+                },
+                "children": [render(child) for child in span.children],
+            }
+
+        with self._lock:
+            roots = list(self.roots)
+        return [render(span) for span in roots]
+
+    # ------------------------------------------------------------- exporters
+    def to_chrome_trace(self) -> dict:
+        """The trace in Chrome trace-event format (Perfetto-loadable)."""
+        pid = os.getpid()
+        now = time.perf_counter()
+        events: List[dict] = []
+        threads: Dict[int, str] = {}
+        for span in self.iter_spans():
+            end = span.end if span.end is not None else now
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (span.start - self.epoch_perf) * 1e6,
+                    "dur": max(0.0, (end - span.start) * 1e6),
+                    "pid": pid,
+                    "tid": span.thread_id,
+                    "args": {
+                        k: _json_safe(v) for k, v in span.attributes.items()
+                    },
+                }
+            )
+            threads.setdefault(span.thread_id, span.thread_name)
+        metadata = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname or f"thread-{tid}"},
+            }
+            for tid, tname in sorted(threads.items())
+        ]
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "exporter": "repro.telemetry",
+                "epoch_unix_s": self.epoch_wall,
+            },
+        }
+
+    def write_chrome_trace(self, path: Union[str, "os.PathLike"]) -> None:
+        """Serialize :meth:`to_chrome_trace` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as out:
+            json.dump(self.to_chrome_trace(), out)
+
+    def iter_events(self) -> Iterator[dict]:
+        """Flat per-span event records (the JSONL stream), finished spans only."""
+        for span in self.iter_spans():
+            if span.end is None:
+                continue
+            yield {
+                "type": "span",
+                "name": span.name,
+                "id": span.span_id,
+                "parent_id": None if span.parent is None else span.parent.span_id,
+                "start_s": span.start - self.epoch_perf,
+                "duration_s": span.duration,
+                "thread": span.thread_name or str(span.thread_id),
+                "attributes": {
+                    k: _json_safe(v) for k, v in span.attributes.items()
+                },
+            }
+
+    def write_jsonl(self, path_or_file: Union[str, "os.PathLike", TextIO]) -> int:
+        """Write the JSONL event stream; returns the number of lines."""
+        own = not hasattr(path_or_file, "write")
+        out = (
+            open(path_or_file, "w", encoding="utf-8")  # type: ignore[arg-type]
+            if own
+            else path_or_file
+        )
+        count = 0
+        try:
+            for event in self.iter_events():
+                out.write(json.dumps(event))
+                out.write("\n")
+                count += 1
+        finally:
+            if own:
+                out.close()  # type: ignore[union-attr]
+        return count
+
+
+# --------------------------------------------------------------------------
+# Process-global tracer.  ``None`` means disabled; the module-level helpers
+# below collapse to no-ops (shared null objects) in that state.
+# --------------------------------------------------------------------------
+
+_state_lock = threading.Lock()
+_tracer: Optional[Tracer] = None
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (a fresh one by default) as the global tracer."""
+    global _tracer
+    with _state_lock:
+        _tracer = tracer if tracer is not None else Tracer()
+        return _tracer
+
+
+def disable() -> None:
+    """Remove the global tracer; :func:`span` becomes a no-op again."""
+    global _tracer
+    with _state_lock:
+        _tracer = None
+
+
+def is_enabled() -> bool:
+    """Whether a global tracer is installed."""
+    return _tracer is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The installed global tracer, or ``None`` when tracing is disabled."""
+    return _tracer
+
+
+def span(
+    name: str, parent: object = _UNSET, **attributes: object
+) -> Union[Span, _NullSpan]:
+    """Open a span on the global tracer (no-op context manager when disabled).
+
+    This is the one call every instrumentation site makes; keep it on the
+    hot path only at batch/iteration granularity.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, parent=parent, **attributes)
+
+
+def current_span() -> Optional[Span]:
+    """The calling thread's innermost open span (``None`` when disabled)."""
+    tracer = _tracer
+    if tracer is None:
+        return None
+    return tracer.current_span()

@@ -7,6 +7,13 @@ default (a ``NullHandler``, per library convention) — applications opt in:
 >>> logging.getLogger("repro").setLevel(logging.DEBUG)
 >>> logging.basicConfig()
 
+or, without touching the ``logging`` module, via :func:`configure_logging`
+(also reachable as ``lightne --verbose`` on the CLI, and honoring the
+``REPRO_LOG`` environment variable):
+
+>>> from repro.utils.log import configure_logging
+>>> logger = configure_logging("DEBUG")   # doctest: +SKIP
+
 Pipelines emit DEBUG lines at stage boundaries (sample counts, sparsifier
 sizes, matrix shapes), which is usually all that is needed to diagnose a
 misbehaving configuration without a debugger.
@@ -15,8 +22,12 @@ misbehaving configuration without a debugger.
 from __future__ import annotations
 
 import logging
+import os
+from typing import Optional, Union
 
 _ROOT_NAME = "repro"
+_ENV_VAR = "REPRO_LOG"
+_DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
 
 logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
 
@@ -26,3 +37,58 @@ def get_logger(name: str) -> logging.Logger:
     if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
         return logging.getLogger(name)
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def _coerce_level(level: Union[int, str]) -> int:
+    """Accept ints, digit strings and level names (``"debug"``, ``"INFO"``)."""
+    if isinstance(level, int):
+        return level
+    text = str(level).strip()
+    if text.isdigit():
+        return int(text)
+    resolved = logging.getLevelName(text.upper())
+    if not isinstance(resolved, int):
+        raise ValueError(
+            f"unknown log level {level!r} (use DEBUG/INFO/WARNING/ERROR or an int)"
+        )
+    return resolved
+
+
+def configure_logging(
+    level: Optional[Union[int, str]] = None,
+    *,
+    stream=None,
+    fmt: str = _DEFAULT_FORMAT,
+) -> logging.Logger:
+    """Opt the process into the library's log lines without ``logging`` boilerplate.
+
+    Attaches one stream handler to the ``"repro"`` logger (idempotent —
+    repeated calls adjust the level instead of stacking handlers) and sets
+    the level:
+
+    * explicit ``level`` argument wins (int, digit string or level name);
+    * otherwise the ``REPRO_LOG`` environment variable (e.g.
+      ``REPRO_LOG=DEBUG lightne embed ...``);
+    * otherwise ``INFO``.
+
+    Returns the configured ``"repro"`` logger.
+    """
+    if level is None:
+        level = os.environ.get(_ENV_VAR) or logging.INFO
+    resolved = _coerce_level(level)
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(resolved)
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, "_repro_configured", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(fmt))
+        handler._repro_configured = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    handler.setLevel(resolved)
+    return root

@@ -1,21 +1,39 @@
 """Wall-clock timers used for the paper's stage-breakdown experiments.
 
 Table 5 of the paper reports per-stage running time (sparsifier construction,
-randomized SVD, spectral propagation). :class:`StageTimer` collects named
+randomized SVD, spectral propagation).  :class:`StageTimer` collects named
 stage durations; :class:`Timer` is a simple context manager.
+
+Since the telemetry subsystem landed (:mod:`repro.telemetry`), the
+``StageTimer`` is the *Table-5 view* over span records: every
+:meth:`StageTimer.stage` block writes through to the process-global span
+tracer (so the same stage appears in exported traces, with children), and
+the timer itself keeps an ordered list of completed stage records from which
+``stages`` / ``total`` / ``format`` are derived.
+:meth:`StageTimer.from_spans` builds the same view directly from a recorded
+span tree.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from contextlib import contextmanager
+
+from repro import telemetry
 
 
 @dataclass
 class Timer:
     """Context-manager stopwatch.
+
+    Not re-entrant: a ``Timer`` instance times one block at a time, and
+    entering it again (nested, or concurrently from another thread) raises
+    ``RuntimeError`` instead of silently corrupting the start timestamp.
+    Sequential reuse is fine.  For nested timing use
+    :meth:`StageTimer.stage`, which nests safely (each block keeps its own
+    start time and they appear as parent/child spans in traces).
 
     Examples
     --------
@@ -29,6 +47,11 @@ class Timer:
     _start: Optional[float] = None
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer is not re-entrant: this instance is already timing a "
+                "block (use a second Timer, or StageTimer.stage for nesting)"
+            )
         self._start = time.perf_counter()
         return self
 
@@ -38,11 +61,14 @@ class Timer:
         self._start = None
 
 
-@dataclass
 class StageTimer:
     """Accumulates named stage durations, preserving insertion order.
 
     The same stage name may be timed multiple times; durations accumulate.
+    ``stage`` blocks may nest (each invocation keeps a local start time, so
+    re-entrant or concurrent use of the same instance is safe), and every
+    block also opens a span on the global telemetry tracer when one is
+    enabled — the exported trace shows the identical stage structure.
 
     Besides durations, every stage may carry named **counters** — throughput
     and footprint figures (samples/sec, batch counts, peak table bytes) that
@@ -51,31 +77,53 @@ class StageTimer:
     :meth:`counter_rows`; :meth:`format` prints them under their stage.
     """
 
-    stages: Dict[str, float] = field(default_factory=dict)
-    counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
-    _order: List[str] = field(default_factory=list)
+    def __init__(self) -> None:
+        # Ordered (name, seconds) records — one per completed stage() block
+        # or add() call.  ``stages``/``_order`` are views over this list.
+        self._records: List[Tuple[str, float]] = []
+        self.counters: Dict[str, Dict[str, float]] = {}
+
+    @classmethod
+    def from_spans(cls, spans: Iterable) -> "StageTimer":
+        """Build the Table-5 view from finished telemetry spans.
+
+        ``spans`` is any iterable of :class:`repro.telemetry.Span` (e.g. a
+        tracer's root spans, or one span's ``children``); open spans are
+        skipped.  Numeric span attributes become stage counters.
+        """
+        timer = cls()
+        for span in spans:
+            if span.end is None:
+                continue
+            timer.add(span.name, span.duration)
+            for key, value in span.attributes.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    timer.set_counter(span.name, key, float(value))
+        return timer
 
     @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        """Time the enclosed block under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            if name not in self.stages:
-                self._order.append(name)
-                self.stages[name] = 0.0
-            self.stages[name] += elapsed
+    def stage(self, name: str, **attributes: object) -> Iterator[object]:
+        """Time the enclosed block under ``name``.
+
+        Yields the telemetry span covering the block (the shared no-op span
+        when tracing is disabled), so callers can attach attributes:
+
+        >>> timer = StageTimer()
+        >>> with timer.stage("svd") as span:
+        ...     _ = span.set_attribute("rank", 128)
+        """
+        with telemetry.span(name, **attributes) as span:
+            start = time.perf_counter()
+            try:
+                yield span
+            finally:
+                self._records.append((name, time.perf_counter() - start))
 
     def add(self, name: str, seconds: float) -> None:
         """Record ``seconds`` for ``name`` without running a block."""
         if seconds < 0:
             raise ValueError(f"seconds must be non-negative, got {seconds}")
-        if name not in self.stages:
-            self._order.append(name)
-            self.stages[name] = 0.0
-        self.stages[name] += seconds
+        self._records.append((name, seconds))
 
     def set_counter(self, stage: str, name: str, value: float) -> None:
         """Record counter ``name`` = ``value`` for ``stage`` (overwrites)."""
@@ -85,11 +133,23 @@ class StageTimer:
         """Read back a counter (``default`` when absent)."""
         return self.counters.get(stage, {}).get(name, default)
 
+    @property
+    def stages(self) -> Dict[str, float]:
+        """Accumulated seconds per stage, in first-appearance order."""
+        out: Dict[str, float] = {}
+        for name, seconds in self._records:
+            out[name] = out.get(name, 0.0) + seconds
+        return out
+
+    @property
+    def _order(self) -> List[str]:
+        """Stage names in first-appearance order."""
+        return list(self.stages)
+
     def counter_rows(self) -> List[tuple]:
         """All counters as ``(stage, counter, value)`` rows, stage order first."""
-        ordered = list(self._order) + [
-            s for s in self.counters if s not in self.stages
-        ]
+        order = self._order
+        ordered = order + [s for s in self.counters if s not in set(order)]
         return [
             (stage, name, value)
             for stage in ordered
@@ -100,20 +160,27 @@ class StageTimer:
     @property
     def total(self) -> float:
         """Sum of all recorded stage durations."""
-        return sum(self.stages.values())
+        return sum(seconds for _, seconds in self._records)
 
     def as_rows(self) -> List[tuple]:
         """Return ``(stage, seconds)`` rows in insertion order."""
-        return [(name, self.stages[name]) for name in self._order]
+        return list(self.stages.items())
 
     def format(self) -> str:
         """Human-readable multi-line breakdown (durations, then counters)."""
-        if not self.stages:
+        stages = self.stages
+        counter_rows = self.counter_rows()
+        if not stages and not counter_rows:
             return "(no stages recorded)"
-        width = max(len(name) for name in self._order)
-        lines = [f"{name:<{width}}  {self.stages[name]:>10.4f} s" for name in self._order]
-        lines.append(f"{'total':<{width}}  {self.total:>10.4f} s")
-        for stage, name, value in self.counter_rows():
+        lines: List[str] = []
+        if stages:
+            width = max(len(name) for name in stages)
+            lines = [
+                f"{name:<{width}}  {seconds:>10.4f} s"
+                for name, seconds in stages.items()
+            ]
+            lines.append(f"{'total':<{width}}  {self.total:>10.4f} s")
+        for stage, name, value in counter_rows:
             rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.1f}"
             lines.append(f"  {stage}.{name} = {rendered}")
         return "\n".join(lines)

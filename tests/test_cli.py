@@ -123,6 +123,97 @@ class TestCommands:
         assert "MRR" in out
 
 
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def _telemetry_teardown(self):
+        from repro import telemetry
+
+        yield
+        telemetry.disable()
+        telemetry.reset_metrics()
+
+    def test_flags_registered_on_every_subcommand(self):
+        for argv in (
+            ["embed", "--dataset", "blogcatalog_like"],
+            ["info", "--dataset", "blogcatalog_like"],
+        ):
+            args = build_parser().parse_args(argv)
+            assert args.trace_out is None
+            assert args.metrics_out is None
+            assert args.profile_memory is False
+            assert args.verbose is False
+
+    def test_trace_and_metrics_outputs(self, edge_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "embed", "--input", edge_file, "--method", "lightne",
+                "--dim", "8", "--window", "2", "--workers", "2",
+                "--output", str(tmp_path / "v.npy"),
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+        assert {"cli", "lightne", "sparsifier", "svd"} <= names
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"] and metrics["histograms"]
+        out = capsys.readouterr().out
+        assert str(trace_path) in out and str(metrics_path) in out
+
+    def test_profile_memory_reports_peak(self, edge_file, tmp_path, capsys):
+        code = main(
+            [
+                "embed", "--input", edge_file, "--method", "lightne",
+                "--dim", "8", "--window", "2",
+                "--output", str(tmp_path / "v.npy"), "--profile-memory",
+            ]
+        )
+        assert code == 0
+        assert "peak RSS" in capsys.readouterr().out
+
+    def test_telemetry_disabled_after_run(self, edge_file, tmp_path):
+        from repro import telemetry
+
+        main(
+            [
+                "embed", "--input", edge_file, "--method", "lightne",
+                "--dim", "8", "--window", "2",
+                "--output", str(tmp_path / "v.npy"),
+                "--trace-out", str(tmp_path / "t.json"),
+            ]
+        )
+        assert not telemetry.is_enabled()
+
+    def test_verbose_emits_debug_logs(self, edge_file, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            code = main(
+                [
+                    "embed", "--input", edge_file, "--method", "lightne",
+                    "--dim", "8", "--window", "2",
+                    "--output", str(tmp_path / "v.npy"), "--verbose",
+                ]
+            )
+            assert code == 0
+            assert logging.getLogger("repro").level == logging.DEBUG
+        messages = " ".join(r.message for r in caplog.records)
+        assert "sparsifier nnz" in messages
+        # Drop the handler configure_logging attached so later tests'
+        # caplog/capsys assertions see a quiet logger again.
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_configured", False):
+                root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+
 class TestFormats:
     def test_metis_input(self, tmp_path, capsys):
         from repro.graph.generators import dcsbm_graph

@@ -226,6 +226,42 @@ class TestLightNE:
         assert r.info["peak_table_bytes"] > 0
         assert r.timer.get_counter("sparsifier", "workers") == 2
 
+    def test_info_reports_telemetry_disabled(self, sbm_bundle):
+        graph, _ = sbm_bundle
+        r = lightne_embedding(
+            graph, LightNEParams(dimension=8, window=2, propagate=False), seed=1
+        )
+        assert r.info["telemetry_enabled"] is False
+        assert "telemetry" not in r.info
+
+    @pytest.mark.parametrize("aggregator", ["hash", "hash-sharded", "sort"])
+    def test_info_telemetry_keys_across_aggregators(self, sbm_bundle, aggregator):
+        from repro import telemetry
+
+        graph, _ = sbm_bundle
+        telemetry.enable()
+        telemetry.reset_metrics()
+        try:
+            r = lightne_embedding(
+                graph,
+                LightNEParams(dimension=8, window=2, workers=2,
+                              aggregator=aggregator, propagate=False),
+                seed=1,
+            )
+        finally:
+            telemetry.disable()
+            telemetry.reset_metrics()
+        assert r.info["telemetry_enabled"] is True
+        tele = r.info["telemetry"]
+        assert tele["trace_spans"] > 0
+        snapshot = tele["metrics"]
+        assert snapshot["counters"]["sparsifier.batches"] >= 1
+        assert "sparsifier.nnz" in snapshot["gauges"]
+        assert snapshot["histograms"]["sparsifier.batch_seconds"]["count"] >= 1
+        if aggregator in ("hash", "hash-sharded"):
+            assert "hashtable.probe_rounds" in snapshot["histograms"]
+            assert snapshot["counters"]["hashtable.distinct_keys"] > 0
+
     def test_downsampling_shrinks_sparsifier(self, sbm_bundle):
         graph, _ = sbm_bundle
         on = lightne_embedding(

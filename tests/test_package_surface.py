@@ -60,6 +60,10 @@ SUBPACKAGES = [
     "repro.experiments.runner",
     "repro.eval.retrieval",
     "repro.utils",
+    "repro.telemetry",
+    "repro.telemetry.tracer",
+    "repro.telemetry.metrics",
+    "repro.telemetry.memory",
     "repro.cli",
     "repro.errors",
 ]

@@ -1,0 +1,394 @@
+"""Tests for repro.telemetry: spans, metrics, memory profiling, exporters."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry.metrics import NULL_INSTRUMENT, MetricsRegistry
+from repro.telemetry.tracer import NULL_SPAN, Tracer
+
+
+@pytest.fixture
+def enabled():
+    """Fresh global tracer + clean registry, torn down afterwards."""
+    tracer = telemetry.enable()
+    telemetry.reset_metrics()
+    yield tracer
+    telemetry.disable()
+    telemetry.reset_metrics()
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_builds_tree(self, enabled):
+        with telemetry.span("root"):
+            with telemetry.span("child"):
+                with telemetry.span("grandchild"):
+                    pass
+            with telemetry.span("sibling"):
+                pass
+        tree = enabled.span_tree()
+        assert len(tree) == 1
+        root = tree[0]
+        assert root["name"] == "root"
+        assert [c["name"] for c in root["children"]] == ["child", "sibling"]
+        assert root["children"][0]["children"][0]["name"] == "grandchild"
+
+    def test_duration_none_while_open(self, enabled):
+        with telemetry.span("outer") as span:
+            assert span.duration is None
+        assert span.duration is not None
+        assert span.duration >= 0.0
+
+    def test_attributes_and_chaining(self, enabled):
+        with telemetry.span("s", alpha=1) as span:
+            span.set_attribute("beta", 2).set_attributes(gamma=3, delta="x")
+        assert span.attributes == {"alpha": 1, "beta": 2, "gamma": 3, "delta": "x"}
+
+    def test_exception_marks_error_and_propagates(self, enabled):
+        with pytest.raises(ValueError):
+            with telemetry.span("boom") as span:
+                raise ValueError("nope")
+        assert span.attributes["error"] == "ValueError"
+        assert span.duration is not None
+
+    def test_current_span_tracks_stack(self, enabled):
+        assert telemetry.current_span() is None
+        with telemetry.span("outer") as outer:
+            assert telemetry.current_span() is outer
+            with telemetry.span("inner") as inner:
+                assert telemetry.current_span() is inner
+            assert telemetry.current_span() is outer
+        assert telemetry.current_span() is None
+
+    def test_cross_thread_parenting(self, enabled):
+        """Worker threads attach to an explicitly passed parent span."""
+        with telemetry.span("dispatch") as parent:
+            captured = telemetry.current_span()
+
+            def work(i):
+                with telemetry.span("task", parent=captured, index=i):
+                    pass
+
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(parent.children) == 3
+        assert {c.attributes["index"] for c in parent.children} == {0, 1, 2}
+
+    def test_thread_without_parent_is_root(self, enabled):
+        def work():
+            with telemetry.span("orphan"):
+                pass
+
+        with telemetry.span("main"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        names = {s.name for s in enabled.roots}
+        assert names == {"main", "orphan"}
+
+    def test_find_spans_and_count(self, enabled):
+        with telemetry.span("a"):
+            for _ in range(3):
+                with telemetry.span("b"):
+                    pass
+        assert len(enabled.find_spans("b")) == 3
+        assert enabled.span_count == 4
+
+    def test_listener_sees_finished_spans(self, enabled):
+        seen = []
+        enabled.add_listener(lambda s: seen.append(s.name))
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        assert seen == ["inner", "outer"]  # finish order, innermost first
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_null(self):
+        assert not telemetry.is_enabled()
+        assert telemetry.span("anything", k=1) is NULL_SPAN
+        with telemetry.span("x") as s:
+            assert s is NULL_SPAN
+            s.set_attribute("a", 1).set_attributes(b=2)
+        assert telemetry.current_span() is None
+        assert telemetry.get_tracer() is None
+
+    def test_instruments_return_shared_null(self):
+        assert telemetry.counter("c") is NULL_INSTRUMENT
+        assert telemetry.gauge("g") is NULL_INSTRUMENT
+        assert telemetry.histogram("h") is NULL_INSTRUMENT
+        # All no-op methods accept calls without recording anything.
+        telemetry.counter("c").inc(5)
+        telemetry.gauge("g").set(1.0)
+        telemetry.histogram("h").observe(0.1)
+        assert telemetry.get_metrics().names() == []
+
+    def test_enable_disable_roundtrip(self):
+        tracer = telemetry.enable()
+        try:
+            assert telemetry.is_enabled()
+            assert telemetry.get_tracer() is tracer
+            assert isinstance(telemetry.span("s"), telemetry.Span)
+        finally:
+            telemetry.disable()
+        assert not telemetry.is_enabled()
+
+
+class TestExporters:
+    def test_chrome_trace_structure(self, enabled):
+        with telemetry.span("root", n=600):
+            with telemetry.span("leaf", batch=np.int64(3)):
+                pass
+        doc = enabled.to_chrome_trace()
+        # Round-trips through JSON (numpy attrs coerced).
+        doc = json.loads(json.dumps(doc))
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"root", "leaf"}
+        assert metadata and metadata[0]["name"] == "thread_name"
+        leaf = next(e for e in complete if e["name"] == "leaf")
+        assert leaf["args"]["batch"] == 3
+        assert leaf["dur"] >= 0.0
+        assert doc["otherData"]["exporter"] == "repro.telemetry"
+
+    def test_write_chrome_trace_file(self, enabled, tmp_path):
+        with telemetry.span("only"):
+            pass
+        path = tmp_path / "trace.json"
+        enabled.write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert any(e["name"] == "only" for e in doc["traceEvents"])
+
+    def test_jsonl_stream_links_parents(self, enabled):
+        with telemetry.span("root"):
+            with telemetry.span("child"):
+                pass
+        buf = io.StringIO()
+        count = enabled.write_jsonl(buf)
+        assert count == 2
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["child"]["parent_id"] == by_name["root"]["id"]
+        assert by_name["root"]["parent_id"] is None
+        assert all(e["duration_s"] >= 0 for e in events)
+
+    def test_jsonl_skips_open_spans(self, enabled):
+        span = enabled.span("never-finished")
+        span.__enter__()
+        assert list(enabled.iter_events()) == []
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        c = registry.counter("events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert registry.counter("events") is c  # create-or-get
+
+    def test_gauge_set_and_set_max(self):
+        g = MetricsRegistry().gauge("load")
+        assert g.value is None and g.max is None
+        g.set(0.5)
+        g.set(0.2)
+        assert g.value == 0.2 and g.max == 0.5
+        g.set_max(0.1)
+        assert g.value == 0.2  # set_max never lowers
+        g.set_max(0.9)
+        assert g.value == 0.9 and g.max == 0.9
+
+    def test_histogram_bucketing(self):
+        h = MetricsRegistry().histogram("probes", buckets=(1, 2, 4))
+        for value in (0.5, 1.0, 1.5, 4.0, 100.0):
+            h.observe(value)
+        # counts: <=1, <=2, <=4, overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(107.0)
+        snap = h.snapshot()
+        assert snap["min"] == 0.5 and snap["max"] == 100.0
+        assert snap["mean"] == pytest.approx(107.0 / 5)
+
+    def test_histogram_rejects_bad_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("empty", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("unsorted", buckets=(2, 1))
+
+    def test_registry_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.gauge("g").set(1.25)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["counters"]["c"] == 7
+        assert snap["gauges"]["g"] == {"value": 1.25, "max": 1.25}
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        assert registry.names() == ["c", "g", "h"]
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        assert json.loads(path.read_text())["counters"]["n"] == 1
+
+    def test_reset_metrics_clears_global(self, enabled):
+        telemetry.counter("will-vanish").inc()
+        assert "will-vanish" in telemetry.get_metrics().names()
+        telemetry.reset_metrics()
+        assert telemetry.get_metrics().names() == []
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+
+class TestMemory:
+    def test_current_and_peak_rss_readable_on_linux(self):
+        rss = telemetry.current_rss_bytes()
+        peak = telemetry.peak_rss_bytes()
+        if rss is not None:  # /proc may be absent on exotic platforms
+            assert rss > 0
+        if peak is not None:
+            assert peak > 0
+
+    def test_sampler_records_profile(self):
+        with telemetry.MemorySampler(interval=0.001) as sampler:
+            _ = bytearray(4 << 20)
+        profile = sampler.profile
+        assert profile is not None
+        assert profile.duration_s > 0
+        if profile.rss_peak_bytes is not None:
+            assert profile.rss_peak_bytes >= (profile.rss_start_bytes or 0)
+
+    def test_sampler_double_start_raises(self):
+        sampler = telemetry.MemorySampler(interval=0.001)
+        sampler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                sampler.start()
+        finally:
+            sampler.stop()
+        with pytest.raises(ValueError):
+            telemetry.MemorySampler(interval=0.0)
+
+    def test_profile_memory_attaches_span_and_gauge(self, enabled):
+        with telemetry.span("block") as span:
+            with telemetry.profile_memory(span=span, interval=0.001) as sampler:
+                _ = bytearray(1 << 20)
+        profile = sampler.profile
+        assert profile is not None
+        if profile.rss_peak_bytes is not None:
+            assert span.attributes["rss_peak_bytes"] == profile.rss_peak_bytes
+            gauge = telemetry.get_metrics().gauge("memory.rss_peak_bytes")
+            assert gauge.value == profile.rss_peak_bytes
+        assert set(profile.as_dict()) >= {"rss_peak_bytes", "num_samples"}
+
+    def test_tracemalloc_window(self, enabled):
+        with telemetry.profile_memory(
+            interval=0.001, trace_allocations=True
+        ) as sampler:
+            _ = [0] * 100_000
+        assert sampler.profile.tracemalloc_peak_bytes is not None
+        assert sampler.profile.tracemalloc_peak_bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: a traced LightNE run produces the documented span tree + metrics
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineAcceptance:
+    @pytest.fixture
+    def traced_run(self, enabled):
+        from repro import LightNEParams, dcsbm_graph, lightne_embedding
+
+        graph, _ = dcsbm_graph(150, 3, avg_degree=8, seed=0)
+        params = LightNEParams(
+            dimension=16, window=3, propagation_order=4, workers=2
+        )
+        result = lightne_embedding(graph, params, seed=0)
+        return enabled, result
+
+    def test_span_tree_covers_pipeline(self, traced_run):
+        tracer, _ = traced_run
+        names = {span.name for span in tracer.iter_spans()}
+        assert {"lightne", "sparsifier", "svd", "propagation"} <= names
+        # Per-batch sampling children live under the sparsifier stage.
+        batches = tracer.find_spans("sparsifier.batch")
+        assert batches
+        for batch in batches:
+            ancestors = []
+            node = batch.parent
+            while node is not None:
+                ancestors.append(node.name)
+                node = node.parent
+            assert "sparsifier" in ancestors
+        assert tracer.find_spans("svd.power_iteration")
+        assert tracer.find_spans("propagation.chebyshev_term")
+
+    def test_metrics_snapshot_has_all_kinds(self, traced_run):
+        snap = telemetry.get_metrics().snapshot()
+        assert len(snap["counters"]) >= 1
+        assert len(snap["gauges"]) >= 1
+        assert len(snap["histograms"]) >= 1
+        assert snap["counters"]["sparsifier.batches"] >= 1
+        assert snap["histograms"]["sparsifier.batch_seconds"]["count"] >= 1
+
+    def test_chrome_trace_round_trips(self, traced_run, tmp_path):
+        tracer, _ = traced_run
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert {"lightne", "sparsifier", "svd", "propagation"} <= names
+
+    def test_result_info_reports_telemetry(self, traced_run):
+        _, result = traced_run
+        assert result.info["telemetry_enabled"] is True
+        tele = result.info["telemetry"]
+        assert tele["trace_spans"] > 0
+        assert tele["metrics"]["counters"]
+
+    def test_same_vectors_with_and_without_telemetry(self):
+        """Instrumentation must not perturb the deterministic pipeline."""
+        from repro import LightNEParams, dcsbm_graph, lightne_embedding
+
+        graph, _ = dcsbm_graph(120, 3, avg_degree=8, seed=1)
+        params = LightNEParams(dimension=8, window=3, propagation_order=3)
+        plain = lightne_embedding(graph, params, seed=7)
+        telemetry.enable()
+        try:
+            traced = lightne_embedding(graph, params, seed=7)
+        finally:
+            telemetry.disable()
+            telemetry.reset_metrics()
+        np.testing.assert_array_equal(plain.vectors, traced.vectors)
+        assert plain.info["telemetry_enabled"] is False
+        assert "telemetry" not in plain.info

@@ -135,6 +135,17 @@ class TestTimer:
             time.sleep(0.002)
         assert t.elapsed >= 0 and t.elapsed != first or t.elapsed >= 0
 
+    def test_nested_reentry_raises(self):
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError, match="not re-entrant"):
+                with t:
+                    pass
+        # The failed re-entry must not corrupt the outer measurement.
+        assert t.elapsed >= 0
+        with t:  # and sequential reuse still works afterwards
+            pass
+
 
 class TestStageTimer:
     def test_stage_accumulates(self):
@@ -206,6 +217,68 @@ class TestStageTimer:
         text = timer.format()
         assert "sparsifier.samples_per_sec = 1,234,567" in text
         assert "sparsifier.batches = 3" in text
+
+    def test_format_counters_only(self):
+        """Counters must survive format() even with zero timed stages."""
+        timer = StageTimer()
+        timer.set_counter("sparsifier", "workers", 4)
+        text = timer.format()
+        assert "no stages" not in text
+        assert "sparsifier.workers = 4" in text
+
+    def test_counter_rows_for_never_timed_stages(self):
+        """Counters whose stages were never timed keep registration order."""
+        timer = StageTimer()
+        timer.set_counter("zeta", "a", 1)
+        timer.set_counter("alpha", "b", 2)
+        assert timer.counter_rows() == [("zeta", "a", 1), ("alpha", "b", 2)]
+        # Timing one of them promotes it to stage order, ahead of orphans.
+        timer.add("alpha", 0.1)
+        assert timer.counter_rows() == [("alpha", "b", 2), ("zeta", "a", 1)]
+
+    def test_stage_nesting_is_safe(self):
+        timer = StageTimer()
+        with timer.stage("outer"):
+            with timer.stage("inner"):
+                time.sleep(0.001)
+        assert set(timer.stages) == {"outer", "inner"}
+        assert timer.stages["outer"] >= timer.stages["inner"]
+        # Inner completes first, so it appears first in record order.
+        assert timer._order == ["inner", "outer"]
+
+    def test_stage_yields_span_and_writes_through_to_tracer(self):
+        from repro import telemetry
+
+        tracer = telemetry.enable()
+        try:
+            timer = StageTimer()
+            with timer.stage("svd", rank=8) as span:
+                span.set_attribute("extra", 1)
+            assert tracer.find_spans("svd")[0].attributes == {
+                "rank": 8, "extra": 1,
+            }
+        finally:
+            telemetry.disable()
+            telemetry.reset_metrics()
+        assert "svd" in timer.stages
+
+    def test_from_spans_builds_table5_view(self):
+        from repro import telemetry
+
+        tracer = telemetry.enable()
+        try:
+            with telemetry.span("sparsifier", workers=2):
+                pass
+            with telemetry.span("svd", rank=16, label="x"):
+                pass
+            timer = StageTimer.from_spans(tracer.roots)
+        finally:
+            telemetry.disable()
+        assert timer._order == ["sparsifier", "svd"]
+        assert timer.get_counter("svd", "rank") == 16.0
+        assert timer.get_counter("sparsifier", "workers") == 2.0
+        # Non-numeric attributes are not counters.
+        assert timer.get_counter("svd", "label", default=-1.0) == -1.0
 
 
 class TestValidation:
@@ -325,3 +398,75 @@ class TestLogging:
         messages = " ".join(record.message for record in caplog.records)
         assert "sparsifier nnz" in messages
         assert "done in" in messages
+
+
+class TestConfigureLogging:
+    @pytest.fixture(autouse=True)
+    def _cleanup_handlers(self):
+        import logging
+
+        root = logging.getLogger("repro")
+        before_level = root.level
+        yield
+        root.setLevel(before_level)
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_configured", False):
+                root.removeHandler(handler)
+
+    def test_explicit_level_wins(self, monkeypatch):
+        import logging
+
+        from repro.utils.log import configure_logging
+
+        monkeypatch.setenv("REPRO_LOG", "ERROR")
+        root = configure_logging("DEBUG")
+        assert root.level == logging.DEBUG
+
+    def test_env_var_fallback(self, monkeypatch):
+        import logging
+
+        from repro.utils.log import configure_logging
+
+        monkeypatch.setenv("REPRO_LOG", "warning")
+        assert configure_logging().level == logging.WARNING
+
+    def test_default_is_info(self, monkeypatch):
+        import logging
+
+        from repro.utils.log import configure_logging
+
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert configure_logging().level == logging.INFO
+
+    def test_idempotent_handler(self):
+        import logging
+
+        from repro.utils.log import configure_logging
+
+        root = logging.getLogger("repro")
+        before = len(root.handlers)
+        configure_logging("INFO")
+        configure_logging("DEBUG")
+        configure_logging("10")
+        ours = [
+            h for h in root.handlers if getattr(h, "_repro_configured", False)
+        ]
+        assert len(ours) == 1
+        assert len(root.handlers) == before + 1
+        assert root.level == logging.DEBUG
+
+    def test_unknown_level_raises(self):
+        from repro.utils.log import configure_logging
+
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("LOUD")
+
+    def test_messages_reach_stream(self):
+        import io
+
+        from repro.utils.log import configure_logging, get_logger
+
+        buf = io.StringIO()
+        configure_logging("DEBUG", stream=buf)
+        get_logger("repro.test_stream").debug("hello from the pipeline")
+        assert "hello from the pipeline" in buf.getvalue()
