@@ -24,17 +24,18 @@ SEED = 2021  # the year of the paper; fixed everywhere for comparability
 
 
 def embed(method: str, graph, *, dimension=32, window=5, multiplier=1.0, seed=SEED,
-          propagate=True, downsample=True) -> EmbeddingResult:
+          propagate=True, downsample=True, workers=None) -> EmbeddingResult:
     """Uniform dispatch used by the cross-method benchmarks.
 
-    Thin wrapper over :func:`repro.experiments.runner.dispatch_method` so the
+    Thin wrapper over :func:`repro.experiments.runner.dispatch_method` (which
+    resolves ``method`` through :mod:`repro.embedding.registry`) so the
     benchmarks and the library's programmatic experiment API stay in sync.
     """
     from repro.experiments.runner import dispatch_method
 
     return dispatch_method(
         method, graph, dimension=dimension, window=window, multiplier=multiplier,
-        propagate=propagate, downsample=downsample, seed=seed,
+        propagate=propagate, downsample=downsample, workers=workers, seed=seed,
     )
 
 
@@ -125,9 +126,12 @@ def auc_row(graph, method: str, *, dimension=32, window=5, multiplier=2.0,
 
 
 def cost_of(method: str, seconds: float) -> float:
-    """Azure-pricing cost (Table 2 methodology), rounded for tables."""
-    key = {"graphvite": "graphvite", "prone+": "prone+"}.get(method, method)
-    return round(estimate_cost(key, seconds), 6)
+    """Azure-pricing cost (Table 2 methodology), rounded for tables.
+
+    ``SYSTEM_INSTANCE`` covers every registry name and alias, so no name
+    remapping is needed here anymore.
+    """
+    return round(estimate_cost(method, seconds), 6)
 
 
 def load(name: str):

@@ -6,39 +6,34 @@ LightNE, GraRep, HOPE, NRP) plus the SGD systems (DeepWalk, node2vec, PBG)
 and prints a Figure-4-style comparison: wall-clock, Azure-model cost, and
 Micro/Macro F1 at a 10% training ratio.
 
+Every method is dispatched through the declarative registry
+(`repro.embedding.registry`): the method list below is `list_methods()`
+itself, per-method overrides are plain dicts validated by `make_params`,
+and adding a method to the registry adds it to this tour automatically.
+
 Run:  python examples/baselines_tour.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    DeepWalkSGDParams,
-    GraRepParams,
-    HOPEParams,
-    LightNEParams,
-    NRPParams,
-    NetSMFParams,
-    Node2VecParams,
-    PBGParams,
-    ProNEParams,
-    dcsbm_graph,
-    deepwalk_sgd_embedding,
-    grarep_embedding,
-    hope_embedding,
-    lightne_embedding,
-    line_embedding,
-    netmf_embedding,
-    netsmf_embedding,
-    node2vec_embedding,
-    nrp_embedding,
-    pbg_embedding,
-    prone_embedding,
-)
+from repro import dcsbm_graph
+from repro.embedding.registry import list_methods, run_method
 from repro.eval import evaluate_node_classification
-from repro.systems.cost import SYSTEM_INSTANCE, estimate_cost
+from repro.systems.cost import estimate_cost
 
 DIM = 32
 WINDOW = 5
+
+# Per-method overrides on top of {"dimension": DIM}; everything else keeps
+# the registry defaults.  Keys are canonical registry names.
+OVERRIDES = {
+    "netmf": {"window": WINDOW},
+    "netmf-eigen": {"window": WINDOW, "eigen_rank": 128},
+    "netsmf": {"window": WINDOW, "multiplier": 5},
+    "lightne": {"window": WINDOW, "multiplier": 5},
+    "grarep": {"steps": 4},
+    "node2vec": {"return_p": 0.5, "in_out_q": 2.0},
+}
 
 
 def main() -> None:
@@ -47,39 +42,18 @@ def main() -> None:
     )
     print(f"graph: {graph}, {labels.shape[1]} labels\n")
 
-    methods = [
-        ("netmf (exact)", lambda: netmf_embedding(graph, DIM, window=WINDOW, seed=0)),
-        ("netmf (eigen)", lambda: netmf_embedding(
-            graph, DIM, window=WINDOW, strategy="eigen", eigen_rank=128, seed=0)),
-        ("line", lambda: line_embedding(graph, DIM, seed=0)),
-        ("netsmf", lambda: netsmf_embedding(
-            graph, NetSMFParams(dimension=DIM, window=WINDOW, sample_multiplier=5), 0)),
-        ("prone+", lambda: prone_embedding(graph, ProNEParams(dimension=DIM), 0)),
-        ("lightne", lambda: lightne_embedding(
-            graph, LightNEParams(dimension=DIM, window=WINDOW, sample_multiplier=5), 0)),
-        ("grarep", lambda: grarep_embedding(
-            graph, GraRepParams(dimension=DIM, steps=4), 0)),
-        ("hope", lambda: hope_embedding(graph, HOPEParams(dimension=DIM), 0)),
-        ("nrp", lambda: nrp_embedding(graph, NRPParams(dimension=DIM), 0)),
-        ("deepwalk-sgd", lambda: deepwalk_sgd_embedding(
-            graph, DeepWalkSGDParams(dimension=DIM), 0)),
-        ("node2vec", lambda: node2vec_embedding(
-            graph, Node2VecParams(dimension=DIM, return_p=0.5, in_out_q=2.0), 0)),
-        ("pbg", lambda: pbg_embedding(graph, PBGParams(dimension=DIM, epochs=20), 0)),
-    ]
-
     print(f"{'method':<15} {'time (s)':>9} {'cost ($)':>10} "
           f"{'micro-F1':>9} {'macro-F1':>9}")
     print("-" * 56)
-    for name, run in methods:
-        result = run()
+    for spec in list_methods():
+        overrides = {"dimension": DIM, **OVERRIDES.get(spec.name, {})}
+        result = run_method(spec.name, graph, seed=0, **overrides)
         score = evaluate_node_classification(
             result.vectors, labels, 0.1, repeats=3, seed=1
         )
-        system_key = result.method if result.method in SYSTEM_INSTANCE else "lightne"
-        cost = estimate_cost(system_key, result.total_seconds)
+        cost = estimate_cost(result.method, result.total_seconds)
         print(
-            f"{name:<15} {result.total_seconds:>9.2f} {cost:>10.6f} "
+            f"{spec.name:<15} {result.total_seconds:>9.2f} {cost:>10.6f} "
             f"{100 * score.micro_f1:>9.2f} {100 * score.macro_f1:>9.2f}"
         )
 

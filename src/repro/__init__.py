@@ -22,8 +22,10 @@ from repro.errors import (
     GraphConstructionError,
     GraphFormatError,
     HashTableFullError,
+    MethodParameterError,
     ReproError,
     SamplingError,
+    UnknownMethodError,
 )
 from repro.graph import (
     CSRGraph,
@@ -42,23 +44,31 @@ from repro.embedding import (
     EmbeddingResult,
     GraRepParams,
     HOPEParams,
+    LINEParams,
     LightNEParams,
+    MethodSpec,
     NRPParams,
+    NetMFParams,
     NetSMFParams,
     Node2VecParams,
     PBGParams,
     ProNEParams,
     deepwalk_sgd_embedding,
+    get_method,
     grarep_embedding,
     hope_embedding,
     lightne_embedding,
     line_embedding,
+    list_methods,
+    make_params,
+    method_names,
     netmf_embedding,
     netsmf_embedding,
     node2vec_embedding,
     nrp_embedding,
     pbg_embedding,
     prone_embedding,
+    run_method,
 )
 from repro.streaming import DynamicEmbedder, RefreshPolicy, edge_stream_from_graph
 from repro.eval import (
@@ -85,6 +95,8 @@ __all__ = [
     "FactorizationError",
     "EvaluationError",
     "DatasetError",
+    "UnknownMethodError",
+    "MethodParameterError",
     # graphs
     "CSRGraph",
     "CompressedGraph",
@@ -104,7 +116,9 @@ __all__ = [
     "netsmf_embedding",
     "ProNEParams",
     "prone_embedding",
+    "NetMFParams",
     "netmf_embedding",
+    "LINEParams",
     "line_embedding",
     "DeepWalkSGDParams",
     "deepwalk_sgd_embedding",
@@ -118,6 +132,13 @@ __all__ = [
     "grarep_embedding",
     "HOPEParams",
     "hope_embedding",
+    # method registry
+    "MethodSpec",
+    "get_method",
+    "list_methods",
+    "make_params",
+    "method_names",
+    "run_method",
     # streaming (paper §6 future work)
     "DynamicEmbedder",
     "RefreshPolicy",

@@ -30,28 +30,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.datasets import dataset_names, load_dataset
-from repro.embedding import (
-    DeepWalkSGDParams,
-    GraRepParams,
-    HOPEParams,
-    LightNEParams,
-    NRPParams,
-    NetSMFParams,
-    Node2VecParams,
-    PBGParams,
-    ProNEParams,
-    deepwalk_sgd_embedding,
-    grarep_embedding,
-    hope_embedding,
-    lightne_embedding,
-    line_embedding,
-    netmf_embedding,
-    netsmf_embedding,
-    node2vec_embedding,
-    nrp_embedding,
-    pbg_embedding,
-    prone_embedding,
+from repro.embedding.registry import (
+    get_method,
+    list_methods,
+    make_params,
+    method_names,
 )
+from repro.errors import ReproError
 from repro.eval import (
     evaluate_link_prediction,
     evaluate_node_classification,
@@ -59,22 +44,6 @@ from repro.eval import (
 )
 from repro.graph import graph_io
 from repro.graph.stats import summarize
-
-METHODS = (
-    "lightne",
-    "netsmf",
-    "prone",
-    "netmf",
-    "netmf-eigen",
-    "line",
-    "deepwalk",
-    "node2vec",
-    "pbg",
-    "nrp",
-    "grarep",
-    "hope",
-)
-
 
 _READERS = {
     "edgelist": graph_io.read_edge_list,
@@ -107,60 +76,35 @@ def _load_graph(args: argparse.Namespace):
     raise SystemExit("one of --input or --dataset is required")
 
 
-def _embed(graph, method: str, dimension: int, window: int, seed: int,
-           workers: Optional[int] = None):
-    """Dispatch to the requested embedding method.
+# Generic knobs offered as CLI flags; only values the user explicitly set
+# (default=None sentinels) reach make_params, so each method keeps its own
+# dataclass defaults for everything else.
+_KNOB_ARGS = ("window", "multiplier", "propagate", "downsample", "workers")
 
-    ``workers`` controls the sparsifier thread pool of the sampling-based
-    methods (lightne / netsmf); ``None`` means ``default_workers()``.  Other
-    methods ignore it.
+
+def _embed(graph, args: argparse.Namespace):
+    """Resolve ``--method`` through the registry and run it.
+
+    Registry errors (unknown method, knob the method does not support)
+    surface as clean ``SystemExit`` messages instead of tracebacks.
     """
-    if method == "lightne":
-        return lightne_embedding(
-            graph,
-            LightNEParams(dimension=dimension, window=window, workers=workers),
-            seed,
-        )
-    if method == "netsmf":
-        return netsmf_embedding(
-            graph,
-            NetSMFParams(dimension=dimension, window=window, workers=workers),
-            seed,
-        )
-    if method == "prone":
-        return prone_embedding(graph, ProNEParams(dimension=dimension), seed)
-    if method == "netmf":
-        return netmf_embedding(graph, dimension, window=window, seed=seed)
-    if method == "netmf-eigen":
-        return netmf_embedding(
-            graph, dimension, window=window, strategy="eigen", seed=seed
-        )
-    if method == "line":
-        return line_embedding(graph, dimension, seed=seed)
-    if method == "deepwalk":
-        return deepwalk_sgd_embedding(
-            graph, DeepWalkSGDParams(dimension=dimension), seed
-        )
-    if method == "node2vec":
-        return node2vec_embedding(graph, Node2VecParams(dimension=dimension), seed)
-    if method == "pbg":
-        return pbg_embedding(graph, PBGParams(dimension=dimension), seed)
-    if method == "nrp":
-        return nrp_embedding(graph, NRPParams(dimension=dimension), seed)
-    if method == "grarep":
-        return grarep_embedding(graph, GraRepParams(dimension=dimension), seed)
-    if method == "hope":
-        return hope_embedding(graph, HOPEParams(dimension=dimension), seed)
-    raise SystemExit(f"unknown method {method!r}")
+    overrides = {"dimension": args.dim}
+    for knob in _KNOB_ARGS:
+        value = getattr(args, knob, None)
+        if value is not None:
+            overrides[knob] = value
+    try:
+        spec = get_method(args.method)
+        params = make_params(args.method, **overrides)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    return spec.builder(graph, params, seed=args.seed)
 
 
 def _cmd_embed(args: argparse.Namespace) -> int:
     graph, _ = _load_graph(args)
     start = time.perf_counter()
-    result = _embed(
-        graph, args.method, args.dim, args.window, args.seed,
-        workers=args.workers,
-    )
+    result = _embed(graph, args)
     elapsed = time.perf_counter() - start
     np.save(args.output, result.vectors)
     print(f"method={result.method} n={graph.num_vertices} m={graph.num_edges}")
@@ -199,10 +143,7 @@ def _cmd_eval_lp(args: argparse.Namespace) -> int:
     train, pos_u, pos_v = train_test_split_edges(
         graph, args.test_fraction, seed=args.seed
     )
-    result = _embed(
-        train, args.method, args.dim, args.window, args.seed,
-        workers=args.workers,
-    )
+    result = _embed(train, args)
     metrics = evaluate_link_prediction(
         result.vectors, pos_u, pos_v, num_negatives=args.negatives, seed=args.seed
     )
@@ -312,11 +253,54 @@ def build_parser() -> argparse.ArgumentParser:
                  "(adds memory gauges to --metrics-out)",
         )
 
+    def add_method_arguments(p: argparse.ArgumentParser, dim_default: int) -> None:
+        """``--method`` choices and knob flags derived from the registry.
+
+        Knob flags default to ``None`` ("not set"): only explicitly-given
+        values are forwarded to ``make_params``, so each method keeps its
+        dataclass defaults, and a knob the method does not support is a
+        clean error instead of being silently ignored.
+        """
+        p.add_argument(
+            "--method", choices=method_names(), default="lightne",
+            help="embedding method (canonical name or registered alias)",
+        )
+        p.add_argument("--dim", type=int, default=dim_default)
+        offered = {
+            knob
+            for spec in list_methods()
+            for knob, on in spec.capabilities.items()
+            if on
+        }
+        if "window" in offered:
+            p.add_argument(
+                "--window", type=int, default=None,
+                help="context window T (methods with the window knob; "
+                     "default: the method's own)",
+            )
+        if "multiplier" in offered:
+            p.add_argument(
+                "--multiplier", type=float, default=None,
+                help="sample multiplier (M = multiplier*T*m) for the "
+                     "sampling-based methods",
+            )
+        if "propagate" in offered:
+            p.add_argument(
+                "--no-propagate", dest="propagate", action="store_const",
+                const=False, default=None,
+                help="skip the spectral-propagation stage",
+            )
+        if "downsample" in offered:
+            p.add_argument(
+                "--no-downsample", dest="downsample", action="store_const",
+                const=False, default=None,
+                help="disable the degree-based downsampling coin",
+            )
+        # --workers is already on add_common (shared with info/stream).
+
     p_embed = sub.add_parser("embed", help="compute an embedding")
     add_common(p_embed)
-    p_embed.add_argument("--method", choices=METHODS, default="lightne")
-    p_embed.add_argument("--dim", type=int, default=128)
-    p_embed.add_argument("--window", type=int, default=10)
+    add_method_arguments(p_embed, dim_default=128)
     p_embed.add_argument("--output", default="embedding.npy")
     p_embed.set_defaults(func=_cmd_embed)
 
@@ -333,9 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lp = sub.add_parser("eval-lp", help="link-prediction evaluation")
     add_common(p_lp)
-    p_lp.add_argument("--method", choices=METHODS, default="lightne")
-    p_lp.add_argument("--dim", type=int, default=64)
-    p_lp.add_argument("--window", type=int, default=5)
+    add_method_arguments(p_lp, dim_default=64)
     p_lp.add_argument("--test-fraction", type=float, default=0.05)
     p_lp.add_argument("--negatives", type=int, default=100)
     p_lp.set_defaults(func=_cmd_eval_lp)
@@ -360,8 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_cmp)
     p_cmp.add_argument(
         "--methods", default="prone+,lightne",
-        help="comma-separated subset of: lightne,netsmf,prone+,line,nrp,"
-             "graphvite,pbg",
+        help="comma-separated subset of: " + ",".join(method_names()),
     )
     p_cmp.add_argument("--ratios", default="0.1", help="comma-separated")
     p_cmp.add_argument("--dim", type=int, default=32)

@@ -1,18 +1,37 @@
 """Embedding algorithms: LightNE, its two building blocks (NetSMF, ProNE),
-the exact NetMF reference, and the baseline systems the paper compares to."""
+the exact NetMF reference, and the baseline systems the paper compares to.
 
-from repro.embedding.base import EmbeddingResult
-from repro.embedding.netmf import netmf_embedding, netmf_matrix_dense
+All methods run on the shared pipeline skeleton in
+:mod:`repro.embedding.base` and are dispatched by name through the
+declarative registry in :mod:`repro.embedding.registry`."""
+
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
+from repro.embedding.netmf import NetMFParams, netmf_embedding, netmf_matrix_dense
 from repro.embedding.netsmf import NetSMFParams, netsmf_embedding
 from repro.embedding.prone import ProNEParams, prone_embedding
 from repro.embedding.lightne import LightNEParams, lightne_embedding
-from repro.embedding.line import line_embedding
+from repro.embedding.line import LINEParams, line_embedding
 from repro.embedding.deepwalk import DeepWalkSGDParams, deepwalk_sgd_embedding
 from repro.embedding.pbg import PBGParams, pbg_embedding
 from repro.embedding.nrp import NRPParams, nrp_embedding
 from repro.embedding.node2vec import Node2VecParams, node2vec_embedding
 from repro.embedding.grarep import GraRepParams, grarep_embedding
 from repro.embedding.hope import HOPEParams, hope_embedding
+from repro.embedding.registry import (
+    MethodSpec,
+    canonical_name,
+    get_method,
+    list_methods,
+    make_params,
+    method_names,
+    register,
+    run_method,
+)
 
 __all__ = [
     "Node2VecParams",
@@ -22,6 +41,10 @@ __all__ = [
     "HOPEParams",
     "hope_embedding",
     "EmbeddingResult",
+    "PipelineContext",
+    "PipelineSpec",
+    "run_pipeline",
+    "NetMFParams",
     "netmf_embedding",
     "netmf_matrix_dense",
     "NetSMFParams",
@@ -30,6 +53,7 @@ __all__ = [
     "prone_embedding",
     "LightNEParams",
     "lightne_embedding",
+    "LINEParams",
     "line_embedding",
     "DeepWalkSGDParams",
     "deepwalk_sgd_embedding",
@@ -37,4 +61,12 @@ __all__ = [
     "pbg_embedding",
     "NRPParams",
     "nrp_embedding",
+    "MethodSpec",
+    "canonical_name",
+    "get_method",
+    "list_methods",
+    "make_params",
+    "method_names",
+    "register",
+    "run_method",
 ]

@@ -1,14 +1,30 @@
-"""Common result container and helpers shared by every embedding method."""
+"""Shared result container and the pipeline skeleton every method runs on.
+
+:func:`run_pipeline` owns the scaffolding that every embedding module used to
+duplicate by hand: seed normalization (:func:`repro.utils.rng.ensure_rng`),
+dimension validation, the method-level telemetry root span, the
+:class:`~repro.utils.timer.StageTimer` lifecycle, and the standardized
+``EmbeddingResult.info`` keys (``method`` / ``params`` / ``n`` / ``m`` plus
+the telemetry snapshot).  A method contributes only its stage body, wrapped
+in a :class:`PipelineSpec`; the public name -> builder mapping lives in
+:mod:`repro.embedding.registry`.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import FactorizationError
+from repro.utils.log import get_logger
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import StageTimer
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -21,11 +37,14 @@ class EmbeddingResult:
         Dense ``(n, d)`` embedding matrix ``X`` (row ``u`` embeds vertex
         ``u``).
     method:
-        Human-readable method name (``"lightne"``, ``"netsmf"``, ...).
+        Canonical method name (``"lightne"``, ``"netsmf"``, ...), matching
+        the registry entry that produced it.
     timer:
         Stage-level wall-clock breakdown (Table 5 rows).
     info:
-        Method-specific diagnostics (sample counts, sparsifier nnz, ...).
+        Diagnostics.  Always contains ``method``, ``params`` (the params
+        dataclass as a plain dict), ``n``, ``m`` and ``telemetry_enabled``;
+        methods add their own keys (sample counts, sparsifier nnz, ...).
     """
 
     vectors: np.ndarray
@@ -70,3 +89,97 @@ def score_edges(
 ) -> np.ndarray:
     """Dot-product edge scores — the ranking function used by the evaluators."""
     return np.einsum("ij,ij->i", vectors[sources], vectors[targets])
+
+
+@dataclass
+class PipelineContext:
+    """Everything a stage body receives from :func:`run_pipeline`.
+
+    Attributes
+    ----------
+    graph:
+        The input graph (CSR or compressed).
+    params:
+        The method's frozen params dataclass.
+    rng:
+        The normalized :class:`numpy.random.Generator` for the whole run.
+    timer:
+        The run's :class:`StageTimer`; bodies open Table-5 stages on it.
+    span:
+        The method-level telemetry root span (a no-op object when telemetry
+        is disabled); bodies may attach attributes.
+    info:
+        Method-specific diagnostics; merged into the standardized
+        ``EmbeddingResult.info`` after the body returns.
+    """
+
+    graph: Any
+    params: Any
+    rng: np.random.Generator
+    timer: StageTimer
+    span: Any
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A method's identity inside the pipeline skeleton.
+
+    ``body`` receives a :class:`PipelineContext` and returns the ``(n, d)``
+    vector matrix; everything around it (seeding, validation, telemetry,
+    timing, result assembly) is owned by :func:`run_pipeline`.
+    """
+
+    name: str
+    body: Callable[[PipelineContext], np.ndarray]
+
+
+def run_pipeline(
+    graph: Any,
+    spec: PipelineSpec,
+    params: Any,
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Run ``spec.body`` under the shared method scaffolding.
+
+    Owns, for every method: ``validate_dimension``, ``ensure_rng(seed)``, the
+    method-level telemetry root span (named ``spec.name``, carrying ``n`` /
+    ``m`` / ``dimension``), the ``StageTimer`` lifecycle, and the
+    standardized ``info`` keys (``method``, ``params``, ``n``, ``m``,
+    ``telemetry_enabled`` and — when telemetry is on — a ``telemetry``
+    snapshot of the metrics registry and span count).
+    """
+    validate_dimension(graph.num_vertices, params.dimension)
+    rng = ensure_rng(seed)
+    timer = StageTimer()
+    with telemetry.span(
+        spec.name,
+        n=graph.num_vertices,
+        m=graph.num_edges,
+        dimension=params.dimension,
+    ) as root:
+        ctx = PipelineContext(
+            graph=graph, params=params, rng=rng, timer=timer, span=root
+        )
+        vectors = spec.body(ctx)
+
+    info: Dict[str, object] = {
+        "method": spec.name,
+        "params": dataclasses.asdict(params),
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+    }
+    info.update(ctx.info)
+    info["telemetry_enabled"] = telemetry.is_enabled()
+    if telemetry.is_enabled():
+        info["telemetry"] = {
+            "metrics": telemetry.get_metrics().snapshot(),
+            "trace_spans": telemetry.get_tracer().span_count,
+        }
+    logger.debug(
+        "%s: done in %.3fs (%s)",
+        spec.name,
+        timer.total,
+        ", ".join(f"{name}={secs:.3f}s" for name, secs in timer.as_rows()),
+    )
+    return EmbeddingResult(vectors=vectors, method=spec.name, timer=timer, info=info)

@@ -17,13 +17,17 @@ from typing import Tuple, Union
 
 import numpy as np
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.errors import SamplingError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.graph.walks import random_walk_matrix_sample
-from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import StageTimer
+from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -64,31 +68,19 @@ def _walks_to_pairs(
     return center[order], context[order]
 
 
-def deepwalk_sgd_embedding(
-    graph: GraphLike,
-    params: DeepWalkSGDParams = DeepWalkSGDParams(),
-    seed: SeedLike = None,
-) -> EmbeddingResult:
-    """Train DeepWalk with vectorized negative-sampling SGD.
-
-    Uses the standard two-matrix parameterization (input/output vectors) with
-    a degree^0.75 negative-sampling distribution and a linearly decaying
-    learning rate; the input matrix is returned as the embedding.
-    """
+def _deepwalk_body(ctx: PipelineContext):
+    graph, params, rng = ctx.graph, ctx.params, ctx.rng
     n = graph.num_vertices
-    validate_dimension(n, params.dimension)
     if params.window < 1:
         raise SamplingError(f"window must be >= 1, got {params.window}")
-    rng = ensure_rng(seed)
-    timer = StageTimer()
 
-    with timer.stage("walks"):
+    with ctx.timer.stage("walks"):
         walks = random_walk_matrix_sample(
             graph, params.walk_length, params.walks_per_vertex, rng
         )
         center, context = _walks_to_pairs(walks, params.window, rng)
 
-    with timer.stage("sgd"):
+    with ctx.timer.stage("sgd"):
         degrees = graph.degrees().astype(np.float64)
         noise = np.maximum(degrees, 1.0) ** 0.75
         noise /= noise.sum()
@@ -108,16 +100,33 @@ def deepwalk_sgd_embedding(
                 neg = rng.choice(n, size=(c.size, params.negatives), p=noise)
                 _sgd_step(w_in, w_out, ada_in, ada_out, c, o, neg, params.learning_rate)
 
-    return EmbeddingResult(
-        vectors=w_in,
-        method="deepwalk-sgd",
-        timer=timer,
-        info={
+    ctx.info.update(
+        {
             "pairs": int(center.size),
             "walk_length": params.walk_length,
             "walks_per_vertex": params.walks_per_vertex,
-        },
+        }
     )
+    return w_in
+
+
+DEEPWALK_PIPELINE = PipelineSpec(name="deepwalk", body=_deepwalk_body)
+
+
+def deepwalk_sgd_embedding(
+    graph: GraphLike,
+    params: DeepWalkSGDParams = DeepWalkSGDParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Train DeepWalk with vectorized negative-sampling SGD.
+
+    Uses the standard two-matrix parameterization (input/output vectors) with
+    a degree^0.75 negative-sampling distribution and a linearly decaying
+    learning rate; the input matrix is returned as the embedding.  Result
+    method name is the canonical ``"deepwalk"``; ``"deepwalk-sgd"`` and
+    ``"graphvite"`` remain registered aliases.
+    """
+    return run_pipeline(graph, DEEPWALK_PIPELINE, params, seed)
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:

@@ -16,14 +16,18 @@ from typing import Union
 
 import numpy as np
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.embedding.netmf import DENSE_LIMIT
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
-from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import StageTimer
+from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -42,14 +46,9 @@ class GraRepParams:
     negative_samples: float = 1.0
 
 
-def grarep_embedding(
-    graph: GraphLike,
-    params: GraRepParams = GraRepParams(),
-    seed: SeedLike = None,
-) -> EmbeddingResult:
-    """Compute GraRep: concatenated per-step log-transition factorizations."""
+def _grarep_body(ctx: PipelineContext):
+    graph, params, rng = ctx.graph, ctx.params, ctx.rng
     n = graph.num_vertices
-    validate_dimension(n, params.dimension)
     if params.steps < 1:
         raise FactorizationError(f"steps must be >= 1, got {params.steps}")
     if params.dimension < params.steps:
@@ -62,8 +61,6 @@ def grarep_embedding(
         )
     if isinstance(graph, CompressedGraph):
         graph = graph.decompress()
-    rng = ensure_rng(seed)
-    timer = StageTimer()
 
     per_step = params.dimension // params.steps
     remainder = params.dimension - per_step * params.steps
@@ -73,7 +70,7 @@ def grarep_embedding(
     transition = adjacency / safe[:, None]
 
     blocks = []
-    with timer.stage("matrix+svd"):
+    with ctx.timer.stage("matrix+svd"):
         power = np.eye(n)
         for k in range(params.steps):
             power = power @ transition
@@ -90,10 +87,17 @@ def grarep_embedding(
             width = min(width, n)
             u, sigma, _ = randomized_svd(matrix, width, seed=rng)
             blocks.append(embedding_from_svd(u, sigma))
-    vectors = np.hstack(blocks)
-    return EmbeddingResult(
-        vectors=vectors,
-        method="grarep",
-        timer=timer,
-        info={"steps": params.steps, "per_step_dim": per_step},
-    )
+    ctx.info.update({"steps": params.steps, "per_step_dim": per_step})
+    return np.hstack(blocks)
+
+
+GRAREP_PIPELINE = PipelineSpec(name="grarep", body=_grarep_body)
+
+
+def grarep_embedding(
+    graph: GraphLike,
+    params: GraRepParams = GraRepParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Compute GraRep: concatenated per-step log-transition factorizations."""
+    return run_pipeline(graph, GRAREP_PIPELINE, params, seed)

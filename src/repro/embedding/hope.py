@@ -19,14 +19,18 @@ from typing import Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.operators import polynomial_operator
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
 from repro.utils.rng import SeedLike
-from repro.utils.timer import StageTimer
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -69,21 +73,15 @@ def katz_decay_rate(graph: GraphLike) -> float:
     return float(value)
 
 
-def hope_embedding(
-    graph: GraphLike,
-    params: HOPEParams = HOPEParams(),
-    seed: SeedLike = None,
-) -> EmbeddingResult:
-    """HOPE embedding from the implicit truncated Katz operator."""
+def _hope_body(ctx: PipelineContext):
+    graph, params = ctx.graph, ctx.params
     n = graph.num_vertices
-    validate_dimension(n, params.dimension)
     if params.order < 1:
         raise FactorizationError(f"order must be >= 1, got {params.order}")
     if isinstance(graph, CompressedGraph):
         graph = graph.decompress()
 
-    timer = StageTimer()
-    with timer.stage("svd"):
+    with ctx.timer.stage("svd"):
         lam = katz_decay_rate(graph)
         if params.beta is None:
             beta = 0.5 / lam if lam > 0 else 0.5
@@ -99,14 +97,22 @@ def hope_embedding(
         coefficients = [beta**r for r in range(params.order)]
         series = polynomial_operator(adjacency, coefficients)
         katz = _compose(series, adjacency, beta, n)
-        u, sigma, _ = randomized_svd(katz, params.dimension, seed=seed)
+        u, sigma, _ = randomized_svd(katz, params.dimension, seed=ctx.rng)
         vectors = embedding_from_svd(u, sigma)
-    return EmbeddingResult(
-        vectors=vectors,
-        method="hope",
-        timer=timer,
-        info={"beta": beta, "order": params.order, "lambda_max": lam},
-    )
+    ctx.info.update({"beta": beta, "order": params.order, "lambda_max": lam})
+    return vectors
+
+
+HOPE_PIPELINE = PipelineSpec(name="hope", body=_hope_body)
+
+
+def hope_embedding(
+    graph: GraphLike,
+    params: HOPEParams = HOPEParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """HOPE embedding from the implicit truncated Katz operator."""
+    return run_pipeline(graph, HOPE_PIPELINE, params, seed)
 
 
 def _compose(series, adjacency: sp.csr_matrix, beta: float, n: int):

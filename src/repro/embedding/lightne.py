@@ -21,8 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Union
 
-from repro import telemetry
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
@@ -33,8 +37,7 @@ from repro.sparsifier.builder import (
 )
 from repro.sparsifier.path_sampling import PathSamplingConfig
 from repro.utils.log import get_logger
-from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import StageTimer
+from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -117,6 +120,69 @@ class LightNEParams:
         return replace(self, sample_multiplier=multiplier)
 
 
+def _lightne_body(ctx: PipelineContext):
+    graph, params = ctx.graph, ctx.params
+    config = PathSamplingConfig(
+        window=params.window,
+        num_samples=PathSamplingConfig.samples_for_multiplier(
+            graph, params.window, params.sample_multiplier
+        ),
+        downsample=params.downsample,
+        downsample_constant=params.downsample_constant,
+    )
+    logger.debug(
+        "lightne: n=%d m=%d T=%d M=%d downsample=%s",
+        graph.num_vertices, graph.num_edges, config.window,
+        config.num_samples, config.downsample,
+    )
+    ctx.span.set_attribute("window", params.window)
+    ctx.span.set_attribute("sample_multiplier", params.sample_multiplier)
+    ctx.span.set_attribute("aggregator", params.aggregator)
+    sparsifier = build_netmf_sparsifier(
+        graph, config, ctx.rng, aggregator=params.aggregator, timer=ctx.timer,
+        workers=params.workers, batch_size=params.batch_size,
+    )
+    logger.debug(
+        "lightne: sparsifier nnz=%d from %d draws (%.1f%% of draws kept "
+        "distinct)", sparsifier.nnz, sparsifier.num_draws,
+        100.0 * sparsifier.nnz / max(1, sparsifier.num_draws),
+    )
+    with ctx.timer.stage("svd", rank=params.dimension):
+        matrix = sparsifier_to_netmf_matrix(
+            graph, sparsifier, negative_samples=params.negative_samples
+        )
+        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
+        vectors = embedding_from_svd(u, sigma)
+    if params.propagate:
+        with ctx.timer.stage("propagation", order=params.propagation_order):
+            vectors = spectral_propagation(
+                graph,
+                vectors,
+                order=params.propagation_order,
+                mu=params.mu,
+                theta=params.theta,
+            )
+    ctx.span.set_attribute("sparsifier_nnz", sparsifier.nnz)
+    ctx.info.update(
+        {
+            "window": params.window,
+            "sample_multiplier": params.sample_multiplier,
+            "num_draws": sparsifier.num_draws,
+            "sparsifier_nnz": sparsifier.nnz,
+            "downsample": params.downsample,
+            "propagated": params.propagate,
+            "workers": int(sparsifier.stats.get("workers", 1)),
+            "sparsifier_batches": int(sparsifier.stats.get("batches", 0)),
+            "samples_per_sec": float(sparsifier.stats.get("samples_per_sec", 0.0)),
+            "peak_table_bytes": int(sparsifier.stats.get("peak_table_bytes", 0)),
+        }
+    )
+    return vectors
+
+
+LIGHTNE_PIPELINE = PipelineSpec(name="lightne", body=_lightne_body)
+
+
 def lightne_embedding(
     graph: GraphLike,
     params: LightNEParams = LightNEParams(),
@@ -133,86 +199,7 @@ def lightne_embedding(
     per-iteration SVD/propagation children — and ``info["telemetry"]``
     carries a snapshot of the metrics registry.
     """
-    validate_dimension(graph.num_vertices, params.dimension)
-    rng = ensure_rng(seed)
-    timer = StageTimer()
-    config = PathSamplingConfig(
-        window=params.window,
-        num_samples=PathSamplingConfig.samples_for_multiplier(
-            graph, params.window, params.sample_multiplier
-        ),
-        downsample=params.downsample,
-        downsample_constant=params.downsample_constant,
-    )
-    logger.debug(
-        "lightne: n=%d m=%d T=%d M=%d downsample=%s",
-        graph.num_vertices, graph.num_edges, config.window,
-        config.num_samples, config.downsample,
-    )
-    with telemetry.span(
-        "lightne",
-        n=graph.num_vertices,
-        m=graph.num_edges,
-        dimension=params.dimension,
-        window=params.window,
-        sample_multiplier=params.sample_multiplier,
-        aggregator=params.aggregator,
-    ) as root_span:
-        sparsifier = build_netmf_sparsifier(
-            graph, config, rng, aggregator=params.aggregator, timer=timer,
-            workers=params.workers, batch_size=params.batch_size,
-        )
-        logger.debug(
-            "lightne: sparsifier nnz=%d from %d draws (%.1f%% of draws kept "
-            "distinct)", sparsifier.nnz, sparsifier.num_draws,
-            100.0 * sparsifier.nnz / max(1, sparsifier.num_draws),
-        )
-        with timer.stage("svd", rank=params.dimension):
-            matrix = sparsifier_to_netmf_matrix(
-                graph, sparsifier, negative_samples=params.negative_samples
-            )
-            u, sigma, _ = randomized_svd(matrix, params.dimension, seed=rng)
-            vectors = embedding_from_svd(u, sigma)
-        if params.propagate:
-            with timer.stage("propagation", order=params.propagation_order):
-                vectors = spectral_propagation(
-                    graph,
-                    vectors,
-                    order=params.propagation_order,
-                    mu=params.mu,
-                    theta=params.theta,
-                )
-        root_span.set_attribute("sparsifier_nnz", sparsifier.nnz)
-    logger.debug(
-        "lightne: done in %.3fs (%s)", timer.total,
-        ", ".join(f"{k}={v:.3f}s" for k, v in timer.as_rows()),
-    )
-    info = {
-        "window": params.window,
-        "sample_multiplier": params.sample_multiplier,
-        "num_draws": sparsifier.num_draws,
-        "sparsifier_nnz": sparsifier.nnz,
-        "downsample": params.downsample,
-        "propagated": params.propagate,
-        "workers": int(sparsifier.stats.get("workers", 1)),
-        "sparsifier_batches": int(sparsifier.stats.get("batches", 0)),
-        "samples_per_sec": float(sparsifier.stats.get("samples_per_sec", 0.0)),
-        "peak_table_bytes": int(sparsifier.stats.get("peak_table_bytes", 0)),
-        "telemetry_enabled": telemetry.is_enabled(),
-    }
-    if telemetry.is_enabled():
-        # Snapshot of the process-global registry (cumulative within this
-        # process — see docs/observability.md).
-        info["telemetry"] = {
-            "metrics": telemetry.get_metrics().snapshot(),
-            "trace_spans": telemetry.get_tracer().span_count,
-        }
-    return EmbeddingResult(
-        vectors=vectors,
-        method="lightne",
-        timer=timer,
-        info=info,
-    )
+    return run_pipeline(graph, LIGHTNE_PIPELINE, params, seed)
 
 
 def refresh_embedding(

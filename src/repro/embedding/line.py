@@ -8,20 +8,33 @@ it sparsely and reuse the randomized SVD.
 
 from __future__ import annotations
 
-from typing import Union
+from dataclasses import dataclass, replace
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
 from repro.sparsifier.builder import trunc_log
 from repro.utils.rng import SeedLike
-from repro.utils.timer import StageTimer
 
 GraphLike = Union[CSRGraph, CompressedGraph]
+
+
+@dataclass(frozen=True)
+class LINEParams:
+    """LINE hyper-parameters (the ``T = 1`` NetMF factorization)."""
+
+    dimension: int = 128
+    negative_samples: float = 1.0
 
 
 def line_matrix(graph: GraphLike, negative_samples: float = 1.0) -> sp.csr_matrix:
@@ -35,21 +48,36 @@ def line_matrix(graph: GraphLike, negative_samples: float = 1.0) -> sp.csr_matri
     return trunc_log(matrix.tocsr())
 
 
+def _line_body(ctx: PipelineContext):
+    params = ctx.params
+    with ctx.timer.stage("matrix"):
+        matrix = line_matrix(ctx.graph, params.negative_samples)
+    with ctx.timer.stage("svd"):
+        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
+        vectors = embedding_from_svd(u, sigma)
+    ctx.info["window"] = 1
+    return vectors
+
+
+LINE_PIPELINE = PipelineSpec(name="line", body=_line_body)
+
+
 def line_embedding(
     graph: GraphLike,
-    dimension: int = 128,
-    *,
-    negative_samples: float = 1.0,
+    params: Optional[Union[LINEParams, int]] = None,
     seed: SeedLike = None,
+    *,
+    negative_samples: Optional[float] = None,
 ) -> EmbeddingResult:
-    """LINE embedding via the T=1 matrix factorization."""
-    validate_dimension(graph.num_vertices, dimension)
-    timer = StageTimer()
-    with timer.stage("matrix"):
-        matrix = line_matrix(graph, negative_samples)
-    with timer.stage("svd"):
-        u, sigma, _ = randomized_svd(matrix, dimension, seed=seed)
-        vectors = embedding_from_svd(u, sigma)
-    return EmbeddingResult(
-        vectors=vectors, method="line", timer=timer, info={"window": 1}
-    )
+    """LINE embedding via the T=1 matrix factorization.
+
+    ``params`` is a :class:`LINEParams`, or (legacy form) a bare dimension
+    int combined with the ``negative_samples`` keyword.
+    """
+    if params is None:
+        params = LINEParams()
+    elif not isinstance(params, LINEParams):
+        params = LINEParams(dimension=int(params))
+    if negative_samples is not None:
+        params = replace(params, negative_samples=negative_samples)
+    return run_pipeline(graph, LINE_PIPELINE, params, seed)

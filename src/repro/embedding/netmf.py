@@ -12,21 +12,44 @@ oracle for the sparsifier's estimator.
 
 from __future__ import annotations
 
-from typing import Union
+from dataclasses import dataclass, replace
+from typing import Optional, Union
 
 import numpy as np
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
 from repro.utils.rng import SeedLike
-from repro.utils.timer import StageTimer
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
 DENSE_LIMIT = 20_000
+
+
+@dataclass(frozen=True)
+class NetMFParams:
+    """NetMF hyper-parameters.
+
+    ``strategy="exact"`` materializes Eq. (1) exactly (NetMF-small);
+    ``strategy="eigen"`` uses the truncated-eigenpair approximation
+    (NetMF-large) with ``eigen_rank`` pairs.  The registry exposes both as
+    separate methods (``netmf`` / ``netmf-eigen``) differing only in the
+    ``strategy`` default.
+    """
+
+    dimension: int = 128
+    window: int = 10
+    negative_samples: float = 1.0
+    strategy: str = "exact"
+    eigen_rank: int = 256
 
 
 def netmf_matrix_dense(
@@ -120,45 +143,72 @@ def netmf_matrix_eigen(
     return np.maximum(0.0, np.log(np.maximum(matrix, 1e-300)))
 
 
+def _netmf_body(ctx: PipelineContext):
+    params = ctx.params
+    with ctx.timer.stage("matrix"):
+        if params.strategy == "exact":
+            matrix = netmf_matrix_dense(
+                ctx.graph, params.window, params.negative_samples
+            )
+        else:
+            matrix = netmf_matrix_eigen(
+                ctx.graph,
+                params.window,
+                params.negative_samples,
+                rank=params.eigen_rank,
+            )
+    with ctx.timer.stage("svd"):
+        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
+        vectors = embedding_from_svd(u, sigma)
+    ctx.info.update(
+        {
+            "window": params.window,
+            "negative_samples": params.negative_samples,
+            "strategy": params.strategy,
+        }
+    )
+    return vectors
+
+
+NETMF_PIPELINE = PipelineSpec(name="netmf", body=_netmf_body)
+NETMF_EIGEN_PIPELINE = PipelineSpec(name="netmf-eigen", body=_netmf_body)
+
+
 def netmf_embedding(
     graph: GraphLike,
-    dimension: int = 128,
+    params: Optional[Union[NetMFParams, int]] = None,
     *,
-    window: int = 10,
-    negative_samples: float = 1.0,
-    strategy: str = "exact",
-    eigen_rank: int = 256,
+    window: Optional[int] = None,
+    negative_samples: Optional[float] = None,
+    strategy: Optional[str] = None,
+    eigen_rank: Optional[int] = None,
     seed: SeedLike = None,
 ) -> EmbeddingResult:
     """NetMF embedding.
 
-    ``strategy="exact"`` materializes Eq. (1) exactly (NetMF-small);
-    ``strategy="eigen"`` uses the truncated-eigenpair approximation
-    (NetMF-large) with ``eigen_rank`` pairs.
+    ``params`` is a :class:`NetMFParams`, or (legacy form) a bare dimension
+    int combined with the keyword overrides.  The result's method name
+    follows the resolved strategy: ``"netmf"`` or ``"netmf-eigen"``.
     """
-    validate_dimension(graph.num_vertices, dimension)
-    timer = StageTimer()
-    with timer.stage("matrix"):
-        if strategy == "exact":
-            matrix = netmf_matrix_dense(graph, window, negative_samples)
-        elif strategy == "eigen":
-            matrix = netmf_matrix_eigen(
-                graph, window, negative_samples, rank=eigen_rank
-            )
-        else:
-            raise FactorizationError(
-                f"strategy must be 'exact' or 'eigen', got {strategy!r}"
-            )
-    with timer.stage("svd"):
-        u, sigma, _ = randomized_svd(matrix, dimension, seed=seed)
-        vectors = embedding_from_svd(u, sigma)
-    return EmbeddingResult(
-        vectors=vectors,
-        method="netmf",
-        timer=timer,
-        info={
-            "window": window,
-            "negative_samples": negative_samples,
-            "strategy": strategy,
-        },
-    )
+    if params is None:
+        params = NetMFParams()
+    elif not isinstance(params, NetMFParams):
+        params = NetMFParams(dimension=int(params))
+    overrides = {
+        name: value
+        for name, value in (
+            ("window", window),
+            ("negative_samples", negative_samples),
+            ("strategy", strategy),
+            ("eigen_rank", eigen_rank),
+        )
+        if value is not None
+    }
+    if overrides:
+        params = replace(params, **overrides)
+    if params.strategy not in ("exact", "eigen"):
+        raise FactorizationError(
+            f"strategy must be 'exact' or 'eigen', got {params.strategy!r}"
+        )
+    spec = NETMF_PIPELINE if params.strategy == "exact" else NETMF_EIGEN_PIPELINE
+    return run_pipeline(graph, spec, params, seed)

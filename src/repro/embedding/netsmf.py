@@ -12,8 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro import telemetry
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
@@ -22,8 +26,7 @@ from repro.sparsifier.builder import (
     sparsifier_to_netmf_matrix,
 )
 from repro.sparsifier.path_sampling import PathSamplingConfig
-from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import StageTimer
+from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -57,15 +60,8 @@ class NetSMFParams:
     workers: Optional[int] = None
 
 
-def netsmf_embedding(
-    graph: GraphLike,
-    params: NetSMFParams = NetSMFParams(),
-    seed: SeedLike = None,
-) -> EmbeddingResult:
-    """Compute a NetSMF embedding (no downsampling, no propagation)."""
-    validate_dimension(graph.num_vertices, params.dimension)
-    rng = ensure_rng(seed)
-    timer = StageTimer()
+def _netsmf_body(ctx: PipelineContext):
+    graph, params = ctx.graph, ctx.params
     config = PathSamplingConfig(
         window=params.window,
         num_samples=PathSamplingConfig.samples_for_multiplier(
@@ -74,24 +70,33 @@ def netsmf_embedding(
         downsample=False,
     )
     result = build_netmf_sparsifier(
-        graph, config, rng, aggregator=params.aggregator, timer=timer,
+        graph, config, ctx.rng, aggregator=params.aggregator, timer=ctx.timer,
         workers=params.workers,
     )
-    with timer.stage("svd"):
+    with ctx.timer.stage("svd"):
         matrix = sparsifier_to_netmf_matrix(
             graph, result, negative_samples=params.negative_samples
         )
-        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=rng)
+        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
         vectors = embedding_from_svd(u, sigma)
-    return EmbeddingResult(
-        vectors=vectors,
-        method="netsmf",
-        timer=timer,
-        info={
+    ctx.info.update(
+        {
             "window": params.window,
             "num_draws": result.num_draws,
             "sparsifier_nnz": result.nnz,
             "sample_multiplier": params.sample_multiplier,
-            "telemetry_enabled": telemetry.is_enabled(),
-        },
+        }
     )
+    return vectors
+
+
+NETSMF_PIPELINE = PipelineSpec(name="netsmf", body=_netsmf_body)
+
+
+def netsmf_embedding(
+    graph: GraphLike,
+    params: NetSMFParams = NetSMFParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Compute a NetSMF embedding (no downsampling, no propagation)."""
+    return run_pipeline(graph, NETSMF_PIPELINE, params, seed)

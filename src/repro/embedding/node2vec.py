@@ -20,13 +20,17 @@ from typing import Union
 
 import numpy as np
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.embedding.deepwalk import DeepWalkSGDParams, _sgd_step, _walks_to_pairs
 from repro.errors import SamplingError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import StageTimer
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -128,20 +132,13 @@ def biased_walks(
     return walks
 
 
-def node2vec_embedding(
-    graph: GraphLike,
-    params: Node2VecParams = Node2VecParams(),
-    seed: SeedLike = None,
-) -> EmbeddingResult:
-    """Train node2vec: biased walks, then skip-gram with negative sampling."""
+def _node2vec_body(ctx: PipelineContext):
+    graph, params, rng = ctx.graph, ctx.params, ctx.rng
     n = graph.num_vertices
-    validate_dimension(n, params.dimension)
     if params.window < 1:
         raise SamplingError(f"window must be >= 1, got {params.window}")
-    rng = ensure_rng(seed)
-    timer = StageTimer()
 
-    with timer.stage("walks"):
+    with ctx.timer.stage("walks"):
         walks = biased_walks(
             graph,
             params.walk_length,
@@ -152,7 +149,7 @@ def node2vec_embedding(
         )
         center, context = _walks_to_pairs(walks, params.window, rng)
 
-    with timer.stage("sgd"):
+    with ctx.timer.stage("sgd"):
         degrees = graph.degrees().astype(np.float64)
         noise = np.maximum(degrees, 1.0) ** 0.75
         noise /= noise.sum()
@@ -169,13 +166,23 @@ def node2vec_embedding(
                 _sgd_step(w_in, w_out, ada_in, ada_out, c, o, neg,
                           params.learning_rate)
 
-    return EmbeddingResult(
-        vectors=w_in,
-        method="node2vec",
-        timer=timer,
-        info={
+    ctx.info.update(
+        {
             "pairs": int(center.size),
             "p": params.return_p,
             "q": params.in_out_q,
-        },
+        }
     )
+    return w_in
+
+
+NODE2VEC_PIPELINE = PipelineSpec(name="node2vec", body=_node2vec_body)
+
+
+def node2vec_embedding(
+    graph: GraphLike,
+    params: Node2VecParams = Node2VecParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Train node2vec: biased walks, then skip-gram with negative sampling."""
+    return run_pipeline(graph, NODE2VEC_PIPELINE, params, seed)

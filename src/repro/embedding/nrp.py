@@ -24,14 +24,18 @@ from typing import Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.operators import polynomial_operator
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
 from repro.utils.rng import SeedLike
-from repro.utils.timer import StageTimer
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -45,14 +49,8 @@ class NRPParams:
     order: int = 10
 
 
-def nrp_embedding(
-    graph: GraphLike,
-    params: NRPParams = NRPParams(),
-    seed: SeedLike = None,
-) -> EmbeddingResult:
-    """Factorize the implicit truncated-PPR operator (no log, no sampling)."""
-    n = graph.num_vertices
-    validate_dimension(n, params.dimension)
+def _nrp_body(ctx: PipelineContext):
+    graph, params = ctx.graph, ctx.params
     if not 0.0 < params.alpha < 1.0:
         raise FactorizationError(f"alpha must be in (0, 1), got {params.alpha}")
     if params.order < 1:
@@ -60,8 +58,7 @@ def nrp_embedding(
     if isinstance(graph, CompressedGraph):
         graph = graph.decompress()
 
-    timer = StageTimer()
-    with timer.stage("svd"):
+    with ctx.timer.stage("svd"):
         degrees = graph.weighted_degrees()
         safe = np.where(degrees > 0, degrees, 1.0)
         walk = (sp.diags(1.0 / safe) @ graph.adjacency()).tocsr()
@@ -69,11 +66,19 @@ def nrp_embedding(
             params.alpha * (1.0 - params.alpha) ** r for r in range(params.order + 1)
         ]
         operator = polynomial_operator(walk, coefficients)
-        u, sigma, _ = randomized_svd(operator, params.dimension, seed=seed)
+        u, sigma, _ = randomized_svd(operator, params.dimension, seed=ctx.rng)
         vectors = embedding_from_svd(u, sigma)
-    return EmbeddingResult(
-        vectors=vectors,
-        method="nrp",
-        timer=timer,
-        info={"alpha": params.alpha, "order": params.order},
-    )
+    ctx.info.update({"alpha": params.alpha, "order": params.order})
+    return vectors
+
+
+NRP_PIPELINE = PipelineSpec(name="nrp", body=_nrp_body)
+
+
+def nrp_embedding(
+    graph: GraphLike,
+    params: NRPParams = NRPParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Factorize the implicit truncated-PPR operator (no log, no sampling)."""
+    return run_pipeline(graph, NRP_PIPELINE, params, seed)

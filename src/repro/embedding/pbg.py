@@ -16,11 +16,15 @@ from typing import Union
 
 import numpy as np
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import StageTimer
+from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
@@ -45,16 +49,9 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
 
 
-def pbg_embedding(
-    graph: GraphLike,
-    params: PBGParams = PBGParams(),
-    seed: SeedLike = None,
-) -> EmbeddingResult:
-    """Train the PBG-style edge-ranking embedding."""
+def _pbg_body(ctx: PipelineContext):
+    graph, params, rng = ctx.graph, ctx.params, ctx.rng
     n = graph.num_vertices
-    validate_dimension(n, params.dimension)
-    rng = ensure_rng(seed)
-    timer = StageTimer()
 
     if isinstance(graph, CompressedGraph):
         flat = graph.decompress()
@@ -64,7 +61,7 @@ def pbg_embedding(
     mask = src < dst
     src, dst = src[mask], dst[mask]
 
-    with timer.stage("sgd"):
+    with ctx.timer.stage("sgd"):
         scale = 1.0 / np.sqrt(params.dimension)
         w = rng.standard_normal((n, params.dimension)) * scale
         adagrad = np.full(n, 1e-8)  # per-row accumulated squared gradients
@@ -76,12 +73,20 @@ def pbg_embedding(
                 neg = rng.integers(0, n, size=(s.size, params.negatives))
                 _ranking_step(w, adagrad, s, d, neg, params.learning_rate)
 
-    return EmbeddingResult(
-        vectors=w,
-        method="pbg",
-        timer=timer,
-        info={"epochs": params.epochs, "negatives": params.negatives},
-    )
+    ctx.info.update({"epochs": params.epochs, "negatives": params.negatives})
+    return w
+
+
+PBG_PIPELINE = PipelineSpec(name="pbg", body=_pbg_body)
+
+
+def pbg_embedding(
+    graph: GraphLike,
+    params: PBGParams = PBGParams(),
+    seed: SeedLike = None,
+) -> EmbeddingResult:
+    """Train the PBG-style edge-ranking embedding."""
+    return run_pipeline(graph, PBG_PIPELINE, params, seed)
 
 
 def _ranking_step(

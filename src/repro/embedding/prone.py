@@ -16,31 +16,40 @@ so the class doubles as ProNE+ with stage timing for Table 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
+from dataclasses import dataclass, replace
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.embedding.base import EmbeddingResult, validate_dimension
+from repro.embedding.base import (
+    EmbeddingResult,
+    PipelineContext,
+    PipelineSpec,
+    run_pipeline,
+)
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
 from repro.linalg.spectral import spectral_propagation
-from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import StageTimer
+from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
 
 
 @dataclass(frozen=True)
 class ProNEParams:
-    """ProNE hyper-parameters (defaults follow the original release)."""
+    """ProNE hyper-parameters (defaults follow the original release).
+
+    ``propagate=False`` stops after the step-1 factorization (the ablation
+    separating the two steps).
+    """
 
     dimension: int = 128
     alpha: float = 0.75
     negative_samples: float = 1.0
+    propagate: bool = True
     propagation_order: int = 10
     mu: float = 0.2
     theta: float = 0.5
@@ -82,39 +91,43 @@ def prone_factorization_matrix(
     return result
 
 
-def prone_embedding(
-    graph: GraphLike,
-    params: ProNEParams = ProNEParams(),
-    seed: SeedLike = None,
-    *,
-    propagate: bool = True,
-) -> EmbeddingResult:
-    """ProNE(+) embedding: sparse factorization, then spectral propagation.
-
-    ``propagate=False`` returns the raw step-1 factorization (useful for the
-    ablations separating the two steps).
-    """
-    validate_dimension(graph.num_vertices, params.dimension)
-    rng = ensure_rng(seed)
-    timer = StageTimer()
-    with timer.stage("svd"):
+def _prone_body(ctx: PipelineContext):
+    params = ctx.params
+    with ctx.timer.stage("svd"):
         matrix = prone_factorization_matrix(
-            graph, alpha=params.alpha, negative_samples=params.negative_samples
+            ctx.graph, alpha=params.alpha, negative_samples=params.negative_samples
         )
-        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=rng)
+        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
         vectors = embedding_from_svd(u, sigma)
-    if propagate:
-        with timer.stage("propagation"):
+    if params.propagate:
+        with ctx.timer.stage("propagation"):
             vectors = spectral_propagation(
-                graph,
+                ctx.graph,
                 vectors,
                 order=params.propagation_order,
                 mu=params.mu,
                 theta=params.theta,
             )
-    return EmbeddingResult(
-        vectors=vectors,
-        method="prone+",
-        timer=timer,
-        info={"alpha": params.alpha, "propagated": propagate},
-    )
+    ctx.info.update({"alpha": params.alpha, "propagated": params.propagate})
+    return vectors
+
+
+PRONE_PIPELINE = PipelineSpec(name="prone", body=_prone_body)
+
+
+def prone_embedding(
+    graph: GraphLike,
+    params: ProNEParams = ProNEParams(),
+    seed: SeedLike = None,
+    *,
+    propagate: Optional[bool] = None,
+) -> EmbeddingResult:
+    """ProNE(+) embedding: sparse factorization, then spectral propagation.
+
+    The ``propagate`` keyword is a legacy override of ``params.propagate``
+    (``None`` defers to the dataclass).  Result method name is the canonical
+    ``"prone"``; ``"prone+"`` remains a registered alias.
+    """
+    if propagate is not None and propagate != params.propagate:
+        params = replace(params, propagate=propagate)
+    return run_pipeline(graph, PRONE_PIPELINE, params, seed)

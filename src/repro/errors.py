@@ -42,3 +42,11 @@ class EvaluationError(ReproError):
 
 class DatasetError(ReproError):
     """Unknown dataset name or invalid dataset parameters."""
+
+
+class UnknownMethodError(ReproError):
+    """A method name is not present in the embedding-method registry."""
+
+
+class MethodParameterError(ReproError):
+    """A parameter override is invalid or unsupported for the chosen method."""

@@ -14,22 +14,8 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.datasets import LabeledGraph, load_dataset
-from repro.embedding import (
-    DeepWalkSGDParams,
-    LightNEParams,
-    NRPParams,
-    NetSMFParams,
-    PBGParams,
-    ProNEParams,
-    deepwalk_sgd_embedding,
-    lightne_embedding,
-    line_embedding,
-    netsmf_embedding,
-    nrp_embedding,
-    pbg_embedding,
-    prone_embedding,
-)
 from repro.embedding.base import EmbeddingResult
+from repro.embedding.registry import canonical_name, run_method
 from repro.errors import EvaluationError
 from repro.eval import (
     evaluate_link_prediction,
@@ -52,47 +38,29 @@ def dispatch_method(
     multiplier: float = 1.0,
     propagate: bool = True,
     downsample: bool = True,
+    workers: Optional[int] = None,
     seed: int = DEFAULT_SEED,
 ) -> EmbeddingResult:
     """Run one named method with the harness-level knobs.
 
-    Supported names: ``lightne``, ``netsmf``, ``prone+``, ``line``, ``nrp``,
-    ``graphvite`` (DeepWalk-SGD stand-in) and ``pbg``.
+    Any name or alias in :mod:`repro.embedding.registry` is accepted (the
+    paper tables' spellings ``prone+`` and ``graphvite`` are registered
+    aliases).  The knob set is shared across methods, so knobs a method does
+    not support are dropped (``strict=False``); unknown method names raise
+    :class:`repro.errors.UnknownMethodError`.
     """
-    if method == "lightne":
-        return lightne_embedding(
-            graph,
-            LightNEParams(
-                dimension=dimension, window=window, sample_multiplier=multiplier,
-                propagate=propagate, downsample=downsample,
-            ),
-            seed,
-        )
-    if method == "netsmf":
-        return netsmf_embedding(
-            graph,
-            NetSMFParams(
-                dimension=dimension, window=window, sample_multiplier=multiplier
-            ),
-            seed,
-        )
-    if method == "prone+":
-        return prone_embedding(graph, ProNEParams(dimension=dimension), seed)
-    if method == "line":
-        return line_embedding(graph, dimension, seed=seed)
-    if method == "nrp":
-        return nrp_embedding(graph, NRPParams(dimension=dimension), seed)
-    if method == "graphvite":
-        return deepwalk_sgd_embedding(
-            graph,
-            DeepWalkSGDParams(
-                dimension=dimension, walk_length=20, walks_per_vertex=10, epochs=2
-            ),
-            seed,
-        )
-    if method == "pbg":
-        return pbg_embedding(graph, PBGParams(dimension=dimension, epochs=20), seed)
-    raise EvaluationError(f"unknown method {method!r}")
+    return run_method(
+        method,
+        graph,
+        seed=seed,
+        strict=False,
+        dimension=dimension,
+        window=window,
+        multiplier=multiplier,
+        propagate=propagate,
+        downsample=downsample,
+        workers=workers,
+    )
 
 
 def _resolve(dataset: Union[str, LabeledGraph], seed: int) -> LabeledGraph:
@@ -102,7 +70,9 @@ def _resolve(dataset: Union[str, LabeledGraph], seed: int) -> LabeledGraph:
 
 
 def _cost(method: str, seconds: float) -> float:
-    key = method if method in SYSTEM_INSTANCE else "lightne"
+    key = method.lower()
+    if key not in SYSTEM_INSTANCE:
+        key = canonical_name(method)
     return round(estimate_cost(key, seconds), 6)
 
 
@@ -115,6 +85,7 @@ def run_method_comparison(
     window: int = 5,
     multiplier: float = 1.0,
     repeats: int = 2,
+    workers: Optional[int] = None,
     seed: int = DEFAULT_SEED,
 ) -> List[Row]:
     """Node-classification comparison (the Table 4 / Figure 4 shape).
@@ -128,7 +99,7 @@ def run_method_comparison(
     for method in methods:
         result = dispatch_method(
             method, bundle.graph, dimension=dimension, window=window,
-            multiplier=multiplier, seed=seed,
+            multiplier=multiplier, workers=workers, seed=seed,
         )
         row: Row = {
             "method": method,
@@ -154,6 +125,7 @@ def run_link_prediction_comparison(
     multiplier: float = 2.0,
     test_fraction: float = 0.02,
     num_negatives: int = 100,
+    workers: Optional[int] = None,
     seed: int = DEFAULT_SEED,
 ) -> List[Row]:
     """PBG-protocol comparison (the §5.2.1 table shape)."""
@@ -165,7 +137,7 @@ def run_link_prediction_comparison(
     for method in methods:
         result = dispatch_method(
             method, train, dimension=dimension, window=window,
-            multiplier=multiplier, seed=seed,
+            multiplier=multiplier, workers=workers, seed=seed,
         )
         metrics = evaluate_link_prediction(
             result.vectors, pos_u, pos_v, num_negatives=num_negatives,

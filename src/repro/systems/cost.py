@@ -41,17 +41,24 @@ AZURE_INSTANCES: Dict[str, AzureInstance] = {
     "M128s": AzureInstance("M128s", 128, 2048.0, 0, 13.338),
 }
 
-# System → assumed instance (paper §5.1).
+# System → assumed instance (paper §5.1).  Keys cover the canonical registry
+# names plus the paper-facing aliases so cost lookups work with either.
 SYSTEM_INSTANCE: Dict[str, str] = {
     "graphvite": "NC24s_v2",
-    "deepwalk-sgd": "NC24s_v2",  # our GraphVite stand-in
+    "deepwalk": "NC24s_v2",  # our GraphVite stand-in
+    "deepwalk-sgd": "NC24s_v2",
+    "node2vec": "NC24s_v2",
     "pbg": "E48_v3",
     "netsmf": "M128s",
+    "prone": "M128s",
     "prone+": "M128s",
     "lightne": "M128s",
     "netmf": "M128s",
+    "netmf-eigen": "M128s",
     "line": "M128s",
     "nrp": "M128s",
+    "grarep": "M128s",
+    "hope": "M128s",
 }
 
 

@@ -249,11 +249,34 @@ class TestNewMethods:
     @pytest.mark.parametrize("method", ["node2vec", "grarep", "hope", "netmf-eigen"])
     def test_embed_new_methods(self, method, edge_file, tmp_path):
         out_path = str(tmp_path / "v.npy")
+        argv = ["embed", "--input", edge_file, "--method", method,
+                "--dim", "8", "--output", out_path]
+        if method in ("node2vec", "netmf-eigen"):  # methods with the window knob
+            argv += ["--window", "2"]
+        code = main(argv)
+        assert code == 0
+        assert np.load(out_path).shape == (120, 8)
+
+    def test_unsupported_knob_is_a_clean_error(self, edge_file, tmp_path):
+        """grarep has no window knob: strict CLI dispatch must reject it."""
+        with pytest.raises(SystemExit, match="does not support 'window'"):
+            main(
+                ["embed", "--input", edge_file, "--method", "grarep",
+                 "--dim", "8", "--window", "2",
+                 "--output", str(tmp_path / "v.npy")]
+            )
+
+    @pytest.mark.parametrize("alias,canonical", [("prone+", "prone"),
+                                                 ("graphvite", "deepwalk")])
+    def test_embed_accepts_registry_aliases(self, alias, canonical, edge_file,
+                                            tmp_path, capsys):
+        out_path = str(tmp_path / "v.npy")
         code = main(
-            ["embed", "--input", edge_file, "--method", method,
-             "--dim", "8", "--window", "2", "--output", out_path]
+            ["embed", "--input", edge_file, "--method", alias,
+             "--dim", "8", "--output", out_path]
         )
         assert code == 0
+        assert f"method={canonical}" in capsys.readouterr().out
         assert np.load(out_path).shape == (120, 8)
 
 

@@ -126,7 +126,7 @@ class TestProNE:
         graph, _ = sbm_bundle
         r = prone_embedding(graph, ProNEParams(dimension=16), seed=0)
         assert r.vectors.shape == (graph.num_vertices, 16)
-        assert r.method == "prone+"
+        assert r.method == "prone"
 
     def test_quality(self, sbm_bundle):
         graph, labels = sbm_bundle

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import LabeledGraph
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, UnknownMethodError
 from repro.experiments import (
     format_table,
     run_link_prediction_comparison,
@@ -40,8 +40,19 @@ class TestDispatch:
         assert result.vectors.shape == (150, 8)
 
     def test_unknown_method(self, bundle):
-        with pytest.raises(EvaluationError):
+        with pytest.raises(UnknownMethodError):
             dispatch_method("wat", bundle.graph)
+
+    def test_workers_threaded_through(self, bundle):
+        # workers is a performance knob: vectors must match the default run.
+        base = dispatch_method(
+            "lightne", bundle.graph, dimension=8, window=2, seed=0
+        )
+        threaded = dispatch_method(
+            "lightne", bundle.graph, dimension=8, window=2, seed=0, workers=2
+        )
+        assert threaded.info["workers"] == 2
+        np.testing.assert_array_equal(base.vectors, threaded.vectors)
 
 
 class TestRunners:

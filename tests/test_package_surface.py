@@ -44,6 +44,8 @@ SUBPACKAGES = [
     "repro.embedding.nrp",
     "repro.embedding.grarep",
     "repro.embedding.hope",
+    "repro.embedding.base",
+    "repro.embedding.registry",
     "repro.eval",
     "repro.eval.metrics",
     "repro.eval.logistic",
@@ -112,15 +114,18 @@ def test_embedding_params_are_frozen_dataclasses():
         GraRepParams,
         HOPEParams,
         LightNEParams,
+        LINEParams,
         NRPParams,
+        NetMFParams,
         NetSMFParams,
         Node2VecParams,
         PBGParams,
         ProNEParams,
     )
 
-    for cls in (LightNEParams, NetSMFParams, ProNEParams, DeepWalkSGDParams,
-                PBGParams, NRPParams, Node2VecParams, GraRepParams, HOPEParams):
+    for cls in (LightNEParams, NetSMFParams, ProNEParams, NetMFParams,
+                LINEParams, DeepWalkSGDParams, PBGParams, NRPParams,
+                Node2VecParams, GraRepParams, HOPEParams):
         assert dataclasses.is_dataclass(cls)
         instance = cls()
         with pytest.raises(dataclasses.FrozenInstanceError):

@@ -1,0 +1,186 @@
+"""Tests for the declarative method registry (repro.embedding.registry)."""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import importlib
+import pkgutil
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser
+from repro.embedding.registry import (
+    MethodSpec,
+    canonical_name,
+    format_methods_table,
+    get_method,
+    list_methods,
+    make_params,
+    method_names,
+    register,
+    run_method,
+)
+from repro.errors import MethodParameterError, UnknownMethodError
+from repro.graph.generators import dcsbm_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _ = dcsbm_graph(80, 2, avg_degree=6, seed=1)
+    return g
+
+
+class TestLookup:
+    def test_canonical_names_resolve_to_themselves(self):
+        for spec in list_methods():
+            assert canonical_name(spec.name) == spec.name
+            assert get_method(spec.name) is spec
+
+    def test_aliases_resolve_to_canonical(self):
+        assert canonical_name("prone+") == "prone"
+        assert canonical_name("graphvite") == "deepwalk"
+        assert canonical_name("deepwalk-sgd") == "deepwalk"
+        assert get_method("prone+") is get_method("prone")
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(UnknownMethodError, match="unknown method"):
+            get_method("word2vec")
+        with pytest.raises(UnknownMethodError):
+            make_params("nope", dimension=8)
+
+    def test_method_names_cover_aliases(self):
+        names = method_names()
+        for spec in list_methods():
+            assert spec.name in names
+            for alias in spec.aliases:
+                assert alias in names
+        assert set(method_names(include_aliases=False)) == {
+            s.name for s in list_methods()
+        }
+
+    def test_register_rejects_collisions(self):
+        spec = get_method("lightne")
+        with pytest.raises(ValueError, match="already registered"):
+            register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            register(dataclasses.replace(spec, name="brand-new", aliases=("prone+",)))
+
+
+class TestMakeParams:
+    def test_builds_from_plain_dict(self):
+        overrides = {"dimension": 8, "window": 2, "multiplier": 2.0}
+        params = make_params("lightne", **overrides)
+        assert params.dimension == 8
+        assert params.window == 2
+        assert params.sample_multiplier == 2.0  # multiplier -> sample_multiplier
+
+    def test_none_means_not_set(self):
+        params = make_params("lightne", dimension=8, window=None)
+        assert params.window == type(params)().window
+
+    def test_registry_defaults_applied(self):
+        assert make_params("netmf-eigen", dimension=8).strategy == "eigen"
+        assert make_params("netmf", dimension=8).strategy == "exact"
+        assert make_params("pbg", dimension=8).epochs == 20
+
+    def test_strict_rejects_unsupported_knob(self):
+        with pytest.raises(MethodParameterError, match="does not support 'window'"):
+            make_params("grarep", dimension=8, window=5)
+
+    def test_non_strict_drops_unsupported_knob(self):
+        params = make_params("grarep", strict=False, dimension=8, window=5,
+                             multiplier=2.0, propagate=False, workers=4)
+        assert params == make_params("grarep", dimension=8)
+
+    def test_unknown_field_always_raises(self):
+        with pytest.raises(MethodParameterError, match="no parameter"):
+            make_params("lightne", strict=False, dimension=8, wat=3)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", [s.name for s in list_methods()])
+    def test_every_method_runs_with_standard_info(self, graph, name):
+        spec = get_method(name)
+        params = make_params(name, dimension=8)
+        result = spec.builder(graph, params, seed=0)
+        assert result.vectors.shape == (graph.num_vertices, 8)
+        assert result.method == spec.name
+        # Standardized info keys owned by run_pipeline.
+        assert result.info["method"] == spec.name
+        assert result.info["n"] == graph.num_vertices
+        assert result.info["m"] == graph.num_edges
+        assert result.info["params"] == dataclasses.asdict(params)
+        assert "telemetry_enabled" in result.info
+        # Table-5 stage names: the default run records exactly the declared set.
+        assert set(result.timer.stages) == set(spec.stages)
+
+    @pytest.mark.parametrize("alias,canonical", [("prone+", "prone"),
+                                                 ("graphvite", "deepwalk")])
+    def test_alias_runs_identically(self, graph, alias, canonical):
+        a = run_method(alias, graph, seed=3, dimension=8)
+        b = run_method(canonical, graph, seed=3, dimension=8)
+        assert a.method == b.method == canonical
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    def test_run_method_strict_surfaces_knob_errors(self, graph):
+        with pytest.raises(MethodParameterError):
+            run_method("hope", graph, dimension=8, window=5)
+
+
+class TestConsistency:
+    def _embed_subparser(self) -> argparse.ArgumentParser:
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        return sub.choices["embed"]
+
+    def test_cli_method_choices_match_registry(self):
+        embed = self._embed_subparser()
+        action = next(a for a in embed._actions if a.dest == "method")
+        assert list(action.choices) == method_names()
+
+    def test_cli_offers_every_supported_knob_flag(self):
+        embed = self._embed_subparser()
+        dests = {a.dest for a in embed._actions}
+        offered = {
+            knob
+            for spec in list_methods()
+            for knob, on in spec.capabilities.items()
+            if on
+        }
+        assert offered <= dests
+
+    def test_every_embedding_entry_point_is_registered(self):
+        """No method may bypass the registry (mirrors the CI check)."""
+        import repro.embedding as pkg
+
+        builders = {spec.builder for spec in list_methods()}
+        allowlist = {"refresh_embedding"}  # incremental updater, not a method
+        unregistered = []
+        for info in pkgutil.iter_modules(pkg.__path__):
+            mod = importlib.import_module(f"repro.embedding.{info.name}")
+            for attr in dir(mod):
+                if not attr.endswith("_embedding"):
+                    continue
+                fn = getattr(mod, attr)
+                if not callable(fn) or getattr(fn, "__module__", None) != mod.__name__:
+                    continue
+                if fn not in builders and attr not in allowlist:
+                    unregistered.append(f"{mod.__name__}.{attr}")
+        assert not unregistered, f"unregistered entry points: {unregistered}"
+
+    def test_methods_table_lists_every_method(self):
+        table = format_methods_table()
+        for spec in list_methods():
+            assert f"`{spec.name}`" in table
+
+    def test_spec_capability_introspection(self):
+        spec = get_method("lightne")
+        assert isinstance(spec, MethodSpec)
+        assert spec.supports("window") and spec.supports("downsample")
+        assert not spec.supports("not-a-knob")
+        assert "dimension" in spec.param_fields
