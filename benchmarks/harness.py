@@ -24,7 +24,8 @@ SEED = 2021  # the year of the paper; fixed everywhere for comparability
 
 
 def embed(method: str, graph, *, dimension=32, window=5, multiplier=1.0, seed=SEED,
-          propagate=True, downsample=True, workers=None) -> EmbeddingResult:
+          propagate=True, downsample=True, workers=None,
+          precision=None) -> EmbeddingResult:
     """Uniform dispatch used by the cross-method benchmarks.
 
     Thin wrapper over :func:`repro.experiments.runner.dispatch_method` (which
@@ -35,7 +36,8 @@ def embed(method: str, graph, *, dimension=32, window=5, multiplier=1.0, seed=SE
 
     return dispatch_method(
         method, graph, dimension=dimension, window=window, multiplier=multiplier,
-        propagate=propagate, downsample=downsample, workers=workers, seed=seed,
+        propagate=propagate, downsample=downsample, workers=workers,
+        precision=precision, seed=seed,
     )
 
 

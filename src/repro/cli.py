@@ -79,7 +79,9 @@ def _load_graph(args: argparse.Namespace):
 # Generic knobs offered as CLI flags; only values the user explicitly set
 # (default=None sentinels) reach make_params, so each method keeps its own
 # dataclass defaults for everything else.
-_KNOB_ARGS = ("window", "multiplier", "propagate", "downsample", "workers")
+_KNOB_ARGS = (
+    "window", "multiplier", "propagate", "downsample", "workers", "precision"
+)
 
 
 def _embed(graph, args: argparse.Namespace):
@@ -229,7 +231,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument(
             "--workers", type=int, default=None,
-            help="sparsifier thread-pool width (default: one per core, "
+            help="thread-pool width for sparsifier construction and the "
+                 "dense linear-algebra kernels (default: one per core, "
                  "capped at 8); output is bit-identical for every value",
         )
         p.add_argument(
@@ -295,6 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "--no-downsample", dest="downsample", action="store_const",
                 const=False, default=None,
                 help="disable the degree-based downsampling coin",
+            )
+        if "precision" in offered:
+            p.add_argument(
+                "--precision", choices=("single", "double"), default=None,
+                help="dense-kernel dtype policy: 'single' runs the "
+                     "factorize/propagate stages in float32 (about half the "
+                     "peak memory), 'double' is the bit-exact legacy path "
+                     "(default: the method's own)",
             )
         # --workers is already on add_common (shared with info/stream).
 

@@ -72,10 +72,17 @@ class LightNEParams:
         ``"hash"`` (shared sparse parallel hashing, the paper's choice),
         ``"hash-sharded"`` (per-processor tables, merged) or ``"sort"``.
     workers:
-        Thread-pool width for sparsifier construction; ``None`` (default)
-        resolves to :func:`repro.utils.parallel.default_workers`.  The
-        sparsifier is bit-identical for every worker count given the same
-        ``seed`` and ``batch_size``.
+        Thread-pool width for sparsifier construction *and* the dense-stage
+        SPMMs (randomized SVD, spectral propagation); ``None`` (default)
+        resolves to :func:`repro.utils.parallel.default_workers`.  Both the
+        sparsifier and the dense kernels are bit-identical for every worker
+        count given the same ``seed`` and ``batch_size``.
+    precision:
+        Dense-kernel dtype policy (``"double"``/``"single"``), mirroring the
+        paper's single-precision MKL routines: ``"single"`` keeps the whole
+        factorize + propagate path in float32 (float64 accumulation only in
+        the small reductions), roughly halving dense-stage peak memory.
+        ``"double"`` (default) is bit-identical to the legacy float64 path.
     batch_size:
         Maximum walk-slab size during sampling (peak-memory bound).
     """
@@ -92,6 +99,7 @@ class LightNEParams:
     theta: float = 0.5
     aggregator: str = "hash"
     workers: Optional[int] = None
+    precision: str = "double"
     batch_size: int = 2_000_000
 
     @staticmethod
@@ -151,7 +159,10 @@ def _lightne_body(ctx: PipelineContext):
         matrix = sparsifier_to_netmf_matrix(
             graph, sparsifier, negative_samples=params.negative_samples
         )
-        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
+        u, sigma, _ = randomized_svd(
+            matrix, params.dimension, seed=ctx.rng,
+            precision=params.precision, workers=params.workers,
+        )
         vectors = embedding_from_svd(u, sigma)
     if params.propagate:
         with ctx.timer.stage("propagation", order=params.propagation_order):
@@ -161,6 +172,8 @@ def _lightne_body(ctx: PipelineContext):
                 order=params.propagation_order,
                 mu=params.mu,
                 theta=params.theta,
+                precision=params.precision,
+                workers=params.workers,
             )
     ctx.span.set_attribute("sparsifier_nnz", sparsifier.nnz)
     ctx.info.update(
@@ -171,6 +184,7 @@ def _lightne_body(ctx: PipelineContext):
             "sparsifier_nnz": sparsifier.nnz,
             "downsample": params.downsample,
             "propagated": params.propagate,
+            "precision": params.precision,
             "workers": int(sparsifier.stats.get("workers", 1)),
             "sparsifier_batches": int(sparsifier.stats.get("batches", 0)),
             "samples_per_sec": float(sparsifier.stats.get("samples_per_sec", 0.0)),

@@ -42,7 +42,9 @@ class NetMFParams:
     ``strategy="eigen"`` uses the truncated-eigenpair approximation
     (NetMF-large) with ``eigen_rank`` pairs.  The registry exposes both as
     separate methods (``netmf`` / ``netmf-eigen``) differing only in the
-    ``strategy`` default.
+    ``strategy`` default.  ``workers`` / ``precision`` control the SVD's
+    kernel layer (:mod:`repro.linalg.kernels`); ``precision="single"``
+    halves the dense matrix's footprint during factorization.
     """
 
     dimension: int = 128
@@ -50,6 +52,8 @@ class NetMFParams:
     negative_samples: float = 1.0
     strategy: str = "exact"
     eigen_rank: int = 256
+    workers: Optional[int] = None
+    precision: str = "double"
 
 
 def netmf_matrix_dense(
@@ -158,7 +162,10 @@ def _netmf_body(ctx: PipelineContext):
                 rank=params.eigen_rank,
             )
     with ctx.timer.stage("svd"):
-        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
+        u, sigma, _ = randomized_svd(
+            matrix, params.dimension, seed=ctx.rng,
+            precision=params.precision, workers=params.workers,
+        )
         vectors = embedding_from_svd(u, sigma)
     ctx.info.update(
         {

@@ -49,7 +49,11 @@ class NetSMFParams:
         ``"sort"`` mimics NetSMF's merge-at-end; ``"hash"`` /
         ``"hash-sharded"`` available too.
     workers:
-        Sampling thread-pool width (``None`` = ``default_workers()``).
+        Thread-pool width for sampling and the SVD's SPMMs
+        (``None`` = ``default_workers()``); bit-identical at every width.
+    precision:
+        Dense-kernel dtype policy (``"double"``/``"single"``); see
+        :mod:`repro.linalg.kernels`.
     """
 
     dimension: int = 128
@@ -58,6 +62,7 @@ class NetSMFParams:
     negative_samples: float = 1.0
     aggregator: str = "sort"
     workers: Optional[int] = None
+    precision: str = "double"
 
 
 def _netsmf_body(ctx: PipelineContext):
@@ -77,7 +82,10 @@ def _netsmf_body(ctx: PipelineContext):
         matrix = sparsifier_to_netmf_matrix(
             graph, result, negative_samples=params.negative_samples
         )
-        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
+        u, sigma, _ = randomized_svd(
+            matrix, params.dimension, seed=ctx.rng,
+            precision=params.precision, workers=params.workers,
+        )
         vectors = embedding_from_svd(u, sigma)
     ctx.info.update(
         {

@@ -19,7 +19,7 @@ the truncated log forces NetSMF-style sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -33,6 +33,7 @@ from repro.embedding.base import (
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
+from repro.linalg.kernels import resolve_precision
 from repro.linalg.operators import polynomial_operator
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
 from repro.utils.rng import SeedLike
@@ -42,11 +43,18 @@ GraphLike = Union[CSRGraph, CompressedGraph]
 
 @dataclass(frozen=True)
 class NRPParams:
-    """NRP hyper-parameters: PPR teleport ``alpha`` and truncation order."""
+    """NRP hyper-parameters: PPR teleport ``alpha`` and truncation order.
+
+    ``workers`` / ``precision`` thread the Horner SPMVs and the SVD through
+    :mod:`repro.linalg.kernels` (``"single"`` keeps the implicit operator's
+    walk matrix and work buffers in float32).
+    """
 
     dimension: int = 128
     alpha: float = 0.15
     order: int = 10
+    workers: Optional[int] = None
+    precision: str = "double"
 
 
 def _nrp_body(ctx: PipelineContext):
@@ -65,8 +73,16 @@ def _nrp_body(ctx: PipelineContext):
         coefficients = [
             params.alpha * (1.0 - params.alpha) ** r for r in range(params.order + 1)
         ]
-        operator = polynomial_operator(walk, coefficients)
-        u, sigma, _ = randomized_svd(operator, params.dimension, seed=ctx.rng)
+        operator = polynomial_operator(
+            walk,
+            coefficients,
+            workers=params.workers,
+            dtype=resolve_precision(params.precision),
+        )
+        u, sigma, _ = randomized_svd(
+            operator, params.dimension, seed=ctx.rng,
+            precision=params.precision, workers=params.workers,
+        )
         vectors = embedding_from_svd(u, sigma)
     ctx.info.update({"alpha": params.alpha, "order": params.order})
     return vectors

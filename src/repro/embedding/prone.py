@@ -43,7 +43,10 @@ class ProNEParams:
     """ProNE hyper-parameters (defaults follow the original release).
 
     ``propagate=False`` stops after the step-1 factorization (the ablation
-    separating the two steps).
+    separating the two steps).  ``workers`` threads the dense-stage SPMMs
+    (bit-identical at every width) and ``precision`` selects the
+    ``"double"``/``"single"`` dtype policy of
+    :mod:`repro.linalg.kernels` for factorization and propagation.
     """
 
     dimension: int = 128
@@ -53,6 +56,8 @@ class ProNEParams:
     propagation_order: int = 10
     mu: float = 0.2
     theta: float = 0.5
+    workers: Optional[int] = None
+    precision: str = "double"
 
 
 def prone_factorization_matrix(
@@ -97,7 +102,10 @@ def _prone_body(ctx: PipelineContext):
         matrix = prone_factorization_matrix(
             ctx.graph, alpha=params.alpha, negative_samples=params.negative_samples
         )
-        u, sigma, _ = randomized_svd(matrix, params.dimension, seed=ctx.rng)
+        u, sigma, _ = randomized_svd(
+            matrix, params.dimension, seed=ctx.rng,
+            precision=params.precision, workers=params.workers,
+        )
         vectors = embedding_from_svd(u, sigma)
     if params.propagate:
         with ctx.timer.stage("propagation"):
@@ -107,8 +115,16 @@ def _prone_body(ctx: PipelineContext):
                 order=params.propagation_order,
                 mu=params.mu,
                 theta=params.theta,
+                precision=params.precision,
+                workers=params.workers,
             )
-    ctx.info.update({"alpha": params.alpha, "propagated": params.propagate})
+    ctx.info.update(
+        {
+            "alpha": params.alpha,
+            "propagated": params.propagate,
+            "precision": params.precision,
+        }
+    )
     return vectors
 
 

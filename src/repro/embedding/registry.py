@@ -48,6 +48,7 @@ _KNOB_CAPABILITY: Dict[str, str] = {
     "sample_multiplier": "supports_multiplier",
     "propagate": "supports_propagate",
     "downsample": "supports_downsample",
+    "precision": "supports_precision",
 }
 _KNOB_FIELD: Dict[str, str] = {"multiplier": "sample_multiplier"}
 
@@ -75,10 +76,12 @@ class MethodSpec:
     stages:
         The Table-5 stage names this method records on its ``StageTimer``.
     supports_window / supports_workers / supports_multiplier /
-    supports_propagate / supports_downsample:
+    supports_propagate / supports_downsample / supports_precision:
         Capability flags gating the generic knobs shared across dispatch
         layers; unsupported knobs are rejected (``strict=True``) or dropped
-        (``strict=False``) by :func:`make_params`.
+        (``strict=False``) by :func:`make_params`.  ``precision`` selects
+        the dense-kernel dtype policy (``"double"``/``"single"``) of
+        :mod:`repro.linalg.kernels`.
     """
 
     name: str
@@ -93,6 +96,7 @@ class MethodSpec:
     supports_multiplier: bool = False
     supports_propagate: bool = False
     supports_downsample: bool = False
+    supports_precision: bool = False
 
     def supports(self, knob: str) -> bool:
         """Whether the generic ``knob`` applies to this method."""
@@ -108,6 +112,7 @@ class MethodSpec:
             "multiplier": self.supports_multiplier,
             "propagate": self.supports_propagate,
             "downsample": self.supports_downsample,
+            "precision": self.supports_precision,
         }
 
     @property
@@ -239,6 +244,7 @@ register(
         supports_multiplier=True,
         supports_propagate=True,
         supports_downsample=True,
+        supports_precision=True,
     )
 )
 register(
@@ -251,6 +257,7 @@ register(
         supports_window=True,
         supports_workers=True,
         supports_multiplier=True,
+        supports_precision=True,
     )
 )
 register(
@@ -261,7 +268,9 @@ register(
         description="ProNE(+): modulated-Laplacian factorization + Chebyshev propagation",
         aliases=("prone+",),
         stages=("svd", "propagation"),
+        supports_workers=True,
         supports_propagate=True,
+        supports_precision=True,
     )
 )
 register(
@@ -272,6 +281,8 @@ register(
         description="exact dense NetMF (small graphs; the sparsifier's oracle)",
         stages=("matrix", "svd"),
         supports_window=True,
+        supports_workers=True,
+        supports_precision=True,
     )
 )
 register(
@@ -283,6 +294,8 @@ register(
         defaults={"strategy": "eigen"},
         stages=("matrix", "svd"),
         supports_window=True,
+        supports_workers=True,
+        supports_precision=True,
     )
 )
 register(
@@ -332,6 +345,8 @@ register(
         params_type=NRPParams,
         description="NRP/NPR: implicit PPR-polynomial factorization (no entry-wise log)",
         stages=("svd",),
+        supports_workers=True,
+        supports_precision=True,
     )
 )
 register(

@@ -39,6 +39,7 @@ def dispatch_method(
     propagate: bool = True,
     downsample: bool = True,
     workers: Optional[int] = None,
+    precision: Optional[str] = None,
     seed: int = DEFAULT_SEED,
 ) -> EmbeddingResult:
     """Run one named method with the harness-level knobs.
@@ -60,6 +61,7 @@ def dispatch_method(
         propagate=propagate,
         downsample=downsample,
         workers=workers,
+        precision=precision,
     )
 
 

@@ -162,6 +162,7 @@ class CompressedGraph:
         "block_size",
         "weights",
         "_volume",
+        "_op_cache",
     )
 
     def __init__(
@@ -182,6 +183,9 @@ class CompressedGraph:
         self.block_size = block_size
         self.weights = weights
         self._volume: Optional[float] = None
+        # Derived-operator memo (propagation operator keyed by dtype); also
+        # saves repeated decompression for propagation-heavy callers.
+        self._op_cache: Optional[dict] = None
 
     # ------------------------------------------------------------ size facts
     @property

@@ -43,7 +43,7 @@ class CSRGraph:
         here for cost reasons — builders enforce it).
     """
 
-    __slots__ = ("offsets", "targets", "weights", "_degrees", "_volume")
+    __slots__ = ("offsets", "targets", "weights", "_degrees", "_volume", "_op_cache")
 
     def __init__(
         self,
@@ -66,6 +66,9 @@ class CSRGraph:
         self.weights = weights
         self._degrees: Optional[np.ndarray] = None
         self._volume: Optional[float] = None
+        # Derived-operator memo (e.g. the propagation operator keyed by
+        # dtype); lazily populated by repro.linalg, never part of equality.
+        self._op_cache: Optional[dict] = None
 
     @staticmethod
     def _validate(

@@ -1,0 +1,380 @@
+"""Shared parallel single-precision linear-algebra kernels (the MKL analog).
+
+The paper's dense stages all run on MKL's *single-precision* routines
+(``mkl_sparse_s_mm`` / ``sgeqrf`` / ``sgesvd``) with every SPMM threaded.
+This module is the Python counterpart those stages dispatch through:
+
+* :func:`spmm` — a threaded row-blocked sparse @ dense product.  Contiguous
+  row chunks of the CSR operator are dispatched onto the shared thread pool
+  (:func:`repro.utils.parallel.parallel_map`); each chunk calls scipy's
+  compiled ``csr_matvecs`` kernel, which releases the GIL, writing into a
+  disjoint slice of one preallocated output.  Because every output row
+  depends only on that row's stored entries — accumulated in storage order —
+  the result is **bit-identical** to ``matrix @ dense`` for every worker
+  count.  CSC operators (the ``Aᵀ`` side of Algorithm 3) are parallelized
+  over column chunks of the dense block instead, which preserves the same
+  per-column accumulation order and hence the same bit-identity.
+* :func:`resolve_precision` — the dtype policy mirroring MKL's ``s``/``d``
+  routine split: ``"single"`` casts the operator and sketch once and keeps
+  the whole pipeline in float32; ``"double"`` is numpy's default.
+* :func:`gram` — blocked ``AᵀB`` with float64 accumulation, so the small
+  ``d×d`` / ``sketch×sketch`` reductions of the single-precision pipeline
+  keep double-precision sums (the one place MKL's ``s`` routines lose the
+  most accuracy).
+* :func:`cholesky_qr` / :func:`orthonormalize` — fast tall-skinny
+  orthonormalization: Cholesky-QR (one Gram + one triangular solve, both
+  BLAS-3) with an automatic Householder-QR fallback on ill-conditioned or
+  rank-deficient blocks.
+* :func:`gram_rescale` — ProNE's re-orthogonalization without the full
+  ``n×d`` dense SVD: ``eigh`` of the ``d×d`` Gram matrix recovers the same
+  ``U_d Σ_d^{1/2}`` up to column sign at a fraction of the cost and memory.
+
+Telemetry: each :func:`spmm` call bumps the ``spmm.calls`` / ``spmm.flops``
+/ ``spmm.bytes`` counters, sets the ``spmm.gflops`` gauge to the call's
+achieved rate and feeds the per-block ``spmm.block_seconds`` histogram;
+Cholesky-QR fallbacks count under ``linalg.cholesky_qr_fallbacks``
+(all no-ops until :func:`repro.telemetry.enable`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import telemetry
+from repro.errors import FactorizationError
+from repro.utils.parallel import chunk_ranges, default_workers, parallel_map
+
+try:  # compiled kernels scipy itself dispatches to; they release the GIL
+    from scipy.sparse import _sparsetools as _st
+
+    _CSR_MATVECS = _st.csr_matvecs
+except (ImportError, AttributeError):  # pragma: no cover - very old scipy
+    _CSR_MATVECS = None
+
+PRECISIONS = ("single", "double")
+
+# Row count per accumulation block in :func:`gram` (bounds the float64
+# upcast of a block to ~64k × d temporaries).
+GRAM_BLOCK_ROWS = 65_536
+
+# dtypes the compiled csr_matvecs kernel accepts; anything else goes through
+# the generic scipy fallback path.
+_BLAS_DTYPES = (np.float32, np.float64, np.complex64, np.complex128)
+
+
+def resolve_precision(precision: Union[str, np.dtype, None]) -> np.dtype:
+    """Map the ``precision`` knob to a numpy dtype.
+
+    ``"single"`` → float32 (the paper's MKL ``s``-routines), ``"double"`` /
+    ``None`` → float64 (numpy's default, the bit-compatible legacy path).
+    Raw dtypes pass through when they already name one of the two.
+    """
+    if precision is None or precision == "double":
+        return np.dtype(np.float64)
+    if precision == "single":
+        return np.dtype(np.float32)
+    if not isinstance(precision, str):
+        dtype = np.dtype(precision)
+        if dtype in (np.dtype(np.float32), np.dtype(np.float64)):
+            return dtype
+    raise FactorizationError(
+        f"precision must be 'single' or 'double', got {precision!r}"
+    )
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None:
+        return default_workers()
+    if workers < 1:
+        raise FactorizationError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+def _csr_rows_kernel(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    dense: np.ndarray,
+    out: np.ndarray,
+    r0: int,
+    r1: int,
+    timed: bool,
+) -> None:
+    """``out[r0:r1] = A[r0:r1] @ dense`` without copying the chunk's entries."""
+    start = time.perf_counter() if timed else 0.0
+    ptr = indptr[r0 : r1 + 1]
+    lo, hi = int(ptr[0]), int(ptr[-1])
+    segment = out[r0:r1]
+    segment[...] = 0
+    if _CSR_MATVECS is not None and data.dtype in _BLAS_DTYPES:
+        _CSR_MATVECS(
+            r1 - r0,
+            dense.shape[0],
+            dense.shape[1],
+            ptr - lo,
+            indices[lo:hi],
+            data[lo:hi],
+            dense.ravel(),
+            segment.ravel(),
+        )
+    else:  # exotic dtype or ancient scipy: build a zero-copy row block
+        block = sp.csr_matrix(
+            (data[lo:hi], indices[lo:hi], ptr - lo),
+            shape=(r1 - r0, dense.shape[0]),
+            copy=False,
+        )
+        segment[...] = block @ dense
+    if timed:
+        telemetry.histogram("spmm.block_seconds").observe(
+            time.perf_counter() - start
+        )
+
+
+def _csc_cols_kernel(
+    matrix: "sp.spmatrix",
+    dense: np.ndarray,
+    out: np.ndarray,
+    c0: int,
+    c1: int,
+    timed: bool,
+) -> None:
+    """``out[:, c0:c1] = A @ dense[:, c0:c1]`` (per-column order preserved)."""
+    start = time.perf_counter() if timed else 0.0
+    out[:, c0:c1] = matrix @ np.ascontiguousarray(dense[:, c0:c1])
+    if timed:
+        telemetry.histogram("spmm.block_seconds").observe(
+            time.perf_counter() - start
+        )
+
+
+def spmm(
+    matrix,
+    dense: np.ndarray,
+    *,
+    out: Optional[np.ndarray] = None,
+    workers: Optional[int] = 1,
+) -> np.ndarray:
+    """Threaded sparse–dense product ``matrix @ dense`` into ``out``.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse CSR/CSC matrix (other sparse formats are converted to CSR;
+        dense operands fall through to one BLAS call).
+    dense:
+        ``(k, c)`` dense block (1-D vectors are treated as one column).
+    out:
+        Optional preallocated C-contiguous output of the product's shape and
+        dtype; allocated when omitted.  Reusing ``out`` across calls is what
+        keeps the Chebyshev recurrence allocation-free.
+    workers:
+        Thread count; ``None`` resolves to
+        :func:`repro.utils.parallel.default_workers`.  The result is
+        **bit-identical for every value** — CSR operators are split into
+        contiguous row blocks (each output row's accumulation order is
+        unchanged), CSC operators into dense column blocks (each output
+        column is computed by the same compiled loop as the serial product).
+    """
+    workers = _resolve_workers(workers)
+    squeeze = False
+    dense = np.asarray(dense)
+    if dense.ndim == 1:
+        dense = dense.reshape(-1, 1)
+        squeeze = True
+    if dense.ndim != 2:
+        raise FactorizationError(f"dense block must be 1-D or 2-D, got {dense.ndim}-D")
+    if matrix.shape[1] != dense.shape[0]:
+        raise FactorizationError(
+            f"shape mismatch: {matrix.shape} @ {dense.shape}"
+        )
+    result_dtype = np.result_type(matrix.dtype, dense.dtype)
+    rows, cols = matrix.shape[0], dense.shape[1]
+    if out is None:
+        out = np.empty((rows, cols), dtype=result_dtype)
+    else:
+        if out.shape != (rows, cols):
+            raise FactorizationError(
+                f"out has shape {out.shape}, expected {(rows, cols)}"
+            )
+        if out.dtype != result_dtype:
+            raise FactorizationError(
+                f"out has dtype {out.dtype}, expected {result_dtype}"
+            )
+        if not out.flags.c_contiguous:
+            raise FactorizationError("out must be C-contiguous")
+
+    if not sp.issparse(matrix):  # dense @ dense: one BLAS call, already threaded
+        np.matmul(np.asarray(matrix), dense, out=out)
+        return out[:, 0] if squeeze else out
+
+    timed = telemetry.is_enabled()
+    start = time.perf_counter() if timed else 0.0
+
+    csc = isinstance(matrix, (sp.csc_matrix, getattr(sp, "csc_array", ()))) or (
+        getattr(matrix, "format", None) == "csc"
+    )
+    if not csc and getattr(matrix, "format", None) != "csr":
+        matrix = matrix.tocsr()
+    dense = np.ascontiguousarray(dense, dtype=result_dtype)
+    if matrix.dtype != result_dtype:
+        matrix = matrix.astype(result_dtype)
+
+    if csc:
+        # Parallelize over dense columns: each output column is produced by
+        # the same compiled per-column loop as the serial csc product.
+        tasks = [
+            (matrix, dense, out, c0, c1, timed)
+            for c0, c1 in chunk_ranges(cols, workers)
+        ]
+        if len(tasks) == 1:
+            _csc_cols_kernel(*tasks[0])
+        else:
+            parallel_map(_csc_cols_kernel, tasks, workers=workers)
+    else:
+        tasks = [
+            (matrix.indptr, matrix.indices, matrix.data, dense, out, r0, r1, timed)
+            for r0, r1 in chunk_ranges(rows, workers)
+        ]
+        if not tasks:  # zero-row matrix
+            pass
+        elif len(tasks) == 1:
+            _csr_rows_kernel(*tasks[0])
+        else:
+            parallel_map(_csr_rows_kernel, tasks, workers=workers)
+
+    if timed:
+        elapsed = max(time.perf_counter() - start, 1e-12)
+        nnz = int(matrix.nnz)
+        flops = 2.0 * nnz * cols
+        moved = (
+            matrix.data.nbytes
+            + matrix.indices.nbytes
+            + matrix.indptr.nbytes
+            + dense.nbytes
+            + out.nbytes
+        )
+        telemetry.counter("spmm.calls").inc()
+        telemetry.counter("spmm.flops").inc(flops)
+        telemetry.counter("spmm.bytes").inc(moved)
+        telemetry.gauge("spmm.gflops").set(flops / elapsed / 1e9)
+    return out[:, 0] if squeeze else out
+
+
+def gram(
+    a: np.ndarray,
+    b: Optional[np.ndarray] = None,
+    *,
+    block_rows: int = GRAM_BLOCK_ROWS,
+) -> np.ndarray:
+    """``aᵀ b`` (``aᵀ a`` when ``b`` is omitted) with float64 accumulation.
+
+    The tall dimension is reduced in row blocks upcast to float64, so a
+    float32 pipeline keeps double-precision sums exactly where MKL's
+    ``s``-routines are weakest — the small ``d×d`` / ``sketch×sketch``
+    reductions — without ever materializing a float64 copy of the ``n×d``
+    operand.
+    """
+    b = a if b is None else b
+    if a.shape[0] != b.shape[0]:
+        raise FactorizationError(f"gram shape mismatch: {a.shape} vs {b.shape}")
+    if a.dtype == np.float64 and b.dtype == np.float64:
+        return a.T @ b
+    out = np.zeros((a.shape[1], b.shape[1]), dtype=np.float64)
+    total = a.shape[0]
+    chunks = max(1, -(-total // block_rows))
+    for r0, r1 in chunk_ranges(total, chunks):
+        out += a[r0:r1].astype(np.float64).T @ b[r0:r1].astype(np.float64)
+    return out
+
+
+def cholesky_qr(block: np.ndarray) -> np.ndarray:
+    """Orthonormal basis of ``range(block)`` via Cholesky-QR.
+
+    Computes ``G = blockᵀ block`` (float64 accumulation), factors
+    ``G = L Lᵀ`` and returns ``Q = block L⁻ᵀ`` — two BLAS-3 calls instead of
+    a Householder QR, the standard fast path for tall-skinny blocks.
+    Cholesky-QR squares the condition number, so ill-conditioned or
+    rank-deficient Gram matrices (non-finite entries, failed factorization,
+    or condition beyond the working precision's safe range) fall back to
+    ``np.linalg.qr``; fallbacks count under the
+    ``linalg.cholesky_qr_fallbacks`` telemetry counter.
+    """
+    block = np.asarray(block)
+    if block.ndim != 2:
+        raise FactorizationError(f"cholesky_qr expects a 2-D block, got {block.ndim}-D")
+    g = gram(block)
+    eps = float(np.finfo(block.dtype).eps) if block.dtype.kind == "f" else float(
+        np.finfo(np.float64).eps
+    )
+    try:
+        if not np.all(np.isfinite(g)):
+            raise np.linalg.LinAlgError("non-finite Gram matrix")
+        lower = np.linalg.cholesky(g)
+        diag = np.abs(np.diagonal(lower))
+        # diag ratio ~ sqrt(cond(G)); beyond ~1/sqrt(eps) the solve is junk.
+        if diag.min() <= np.sqrt(eps) * diag.max():
+            raise np.linalg.LinAlgError("ill-conditioned Gram matrix")
+    except np.linalg.LinAlgError:
+        telemetry.counter("linalg.cholesky_qr_fallbacks").inc()
+        q, _ = np.linalg.qr(block)
+        return q
+    # Q = B L^{-T}: invert the small k×k triangle once, one big GEMM after.
+    identity = np.eye(lower.shape[0], dtype=np.float64)
+    from scipy.linalg import solve_triangular
+
+    inv_lower = solve_triangular(lower, identity, lower=True)
+    return block @ inv_lower.T.astype(block.dtype, copy=False)
+
+
+def orthonormalize(block: np.ndarray, *, strategy: str = "qr") -> np.ndarray:
+    """Orthonormalize ``block`` — the sgeqrf/sorgqr pair of Algorithm 3.
+
+    ``strategy="qr"`` is Householder QR (the legacy, bit-compatible double
+    path); ``"cholesky"`` is :func:`cholesky_qr` (the fast single-precision
+    path, with its built-in QR fallback).
+    """
+    if strategy == "qr":
+        q, _ = np.linalg.qr(block)
+        return q
+    if strategy == "cholesky":
+        return cholesky_qr(block)
+    raise FactorizationError(
+        f"orthonormalize strategy must be 'qr' or 'cholesky', got {strategy!r}"
+    )
+
+
+def gram_rescale(
+    matrix: np.ndarray, dimension: Optional[int] = None
+) -> np.ndarray:
+    """``U_d Σ_d^{1/2}`` of ``matrix`` via ``eigh`` of the ``d×d`` Gram matrix.
+
+    Replaces the full ``n×d`` dense SVD of
+    :func:`repro.linalg.spectral.rescale_embedding` with the Gram trick:
+    ``MᵀM = V Σ² Vᵀ`` gives the right singular vectors and values, and
+    ``U = M V Σ⁻¹`` recovers the left ones — one small ``eigh`` plus one
+    GEMM, matching the SVD-based rescale up to column sign.  The output
+    keeps ``matrix``'s dtype (the Gram matrix itself is accumulated in
+    float64 via :func:`gram`).
+    """
+    matrix = np.asarray(matrix)
+    if dimension is None:
+        dimension = matrix.shape[1]
+    if dimension < 1 or dimension > matrix.shape[1]:
+        raise FactorizationError(
+            f"dimension {dimension} invalid for matrix with {matrix.shape[1]} columns"
+        )
+    g = gram(matrix)
+    eigenvalues, eigenvectors = np.linalg.eigh(g)
+    order = np.argsort(eigenvalues)[::-1][:dimension]
+    values = np.maximum(eigenvalues[order], 0.0)
+    vectors = eigenvectors[:, order]
+    sigma = np.sqrt(values)
+    tiny = np.finfo(np.float64).tiny
+    inv_sigma = np.where(sigma > tiny, 1.0 / np.maximum(sigma, tiny), 0.0)
+    # Fold V Σ⁻¹ Σ^{1/2} = V Σ^{-1/2} into one small d×d factor, one GEMM.
+    factor = vectors * (inv_sigma * np.sqrt(sigma))[None, :]
+    return matrix @ factor.astype(matrix.dtype, copy=False)

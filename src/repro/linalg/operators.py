@@ -6,17 +6,25 @@ constructed: its action on a vector is a handful of SPMVs.  We expose that
 shortcut as a :class:`scipy.sparse.linalg.LinearOperator` factory, which our
 randomized SVD consumes directly — demonstrating precisely why the log step
 (required for DeepWalk equivalence) is what forces NetSMF-style sampling.
+
+The Horner evaluation runs on the shared kernel layer
+(:mod:`repro.linalg.kernels`): every SPMM goes through :func:`spmm` (so
+``workers`` threads it over row blocks, bit-identically), and the recurrence
+ping-pongs two preallocated buffers with in-place axpy updates instead of
+allocating a fresh accumulator per step.  ``dtype`` selects the working
+precision (the operator matrices are cast once at construction).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.errors import FactorizationError
+from repro.linalg.kernels import spmm
 
 
 def polynomial_operator(
@@ -24,6 +32,8 @@ def polynomial_operator(
     coefficients: Sequence[float],
     *,
     right_scale: np.ndarray = None,
+    workers: Optional[int] = 1,
+    dtype=np.float64,
 ) -> spla.LinearOperator:
     """LinearOperator for ``(Σ_r c_r P^r) diag(right_scale)``.
 
@@ -35,6 +45,10 @@ def polynomial_operator(
         ``c_0 … c_k``; Horner evaluation uses ``k`` SPMVs per matvec.
     right_scale:
         Optional diagonal right-scaling (e.g. ``D⁻¹`` for the NetMF form).
+    workers:
+        Thread count for the SPMMs (bit-identical at every width).
+    dtype:
+        Working precision; ``P`` and ``Pᵀ`` are cast once at construction.
     """
     coefficients = [float(c) for c in coefficients]
     if not coefficients:
@@ -42,32 +56,43 @@ def polynomial_operator(
     n = walk_matrix.shape[0]
     if walk_matrix.shape[0] != walk_matrix.shape[1]:
         raise FactorizationError(f"walk_matrix must be square, got {walk_matrix.shape}")
+    dtype = np.dtype(dtype)
     if right_scale is not None:
-        right_scale = np.asarray(right_scale, dtype=np.float64)
+        right_scale = np.asarray(right_scale, dtype=dtype)
         if right_scale.shape != (n,):
             raise FactorizationError("right_scale must be a length-n vector")
 
     p = walk_matrix.tocsr()
+    if p.dtype != dtype:
+        p = p.astype(dtype)
     pt = p.T.tocsr()
 
     def _apply(matrix: sp.csr_matrix, block: np.ndarray) -> np.ndarray:
-        # Horner: result = (((c_k P + c_{k-1}) P + ...) + c_0) block
-        block = np.atleast_2d(block.T).T if block.ndim == 1 else block
+        # Horner: result = (((c_k P + c_{k-1}) P + ...) + c_0) block,
+        # ping-ponging one accumulator and one SPMM target buffer, with the
+        # c·block axpy staged through a reused scratch array.
         acc = coefficients[-1] * block
+        if len(coefficients) == 1:
+            return acc
+        target = np.empty_like(acc)
+        scratch = np.empty_like(acc)
         for c in reversed(coefficients[:-1]):
-            acc = matrix @ acc + c * block
+            spmm(matrix, acc, out=target, workers=workers)
+            np.multiply(block, c, out=scratch)
+            np.add(target, scratch, out=target)
+            acc, target = target, acc
         return acc
 
     def matvec(x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        vec = x.reshape(n, -1)
+        x = np.asarray(x, dtype=dtype)
+        vec = np.ascontiguousarray(x.reshape(n, -1))
         scaled = vec * right_scale[:, None] if right_scale is not None else vec
         out = _apply(p, scaled)
         return out.reshape(x.shape)
 
     def rmatvec(x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        vec = x.reshape(n, -1)
+        x = np.asarray(x, dtype=dtype)
+        vec = np.ascontiguousarray(x.reshape(n, -1))
         out = _apply(pt, vec)
         if right_scale is not None:
             out = out * right_scale[:, None]
@@ -79,5 +104,5 @@ def polynomial_operator(
         rmatvec=rmatvec,
         matmat=matvec,
         rmatmat=rmatvec,
-        dtype=np.float64,
+        dtype=dtype,
     )

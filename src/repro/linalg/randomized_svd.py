@@ -18,6 +18,16 @@ for LAPACK, add the standard oversampling and power-iteration knobs, and
 accept anything with ``@``/``.T`` semantics — scipy sparse matrices, dense
 arrays, or :class:`scipy.sparse.linalg.LinearOperator` (the NRP baseline
 factorizes an *implicit* polynomial operator through the same code path).
+
+All SPMMs dispatch through the shared kernel layer
+(:mod:`repro.linalg.kernels`): ``workers`` threads the sparse products over
+contiguous row/column blocks (bit-identical to the serial result at every
+width), and ``precision="single"`` mirrors MKL's ``s``-routines — the
+operator and every sketch block are cast to float32 once, Cholesky-QR
+replaces Householder QR for the tall-skinny orthonormalizations, and only
+the small ``sketch×sketch`` reduction (line 7) accumulates in float64.  The
+default (``precision="double"``, any ``workers``) is bit-identical to the
+historical all-float64 implementation.
 """
 
 from __future__ import annotations
@@ -30,28 +40,26 @@ import scipy.sparse.linalg as spla
 
 from repro import telemetry
 from repro.errors import FactorizationError
+from repro.linalg.kernels import gram, orthonormalize, resolve_precision, spmm
 from repro.utils.rng import SeedLike, ensure_rng
 
 MatrixLike = Union[np.ndarray, sp.spmatrix, spla.LinearOperator]
 
 
-def _matmat(matrix: MatrixLike, block: np.ndarray) -> np.ndarray:
+def _matmat(matrix: MatrixLike, block: np.ndarray, *, workers=1) -> np.ndarray:
     """``matrix @ block`` for all supported matrix types."""
-    result = matrix @ block
-    return np.asarray(result)
+    if sp.issparse(matrix):
+        return spmm(matrix, block, workers=workers)
+    return np.asarray(matrix @ block)
 
 
-def _rmatmat(matrix: MatrixLike, block: np.ndarray) -> np.ndarray:
+def _rmatmat(matrix: MatrixLike, block: np.ndarray, *, workers=1) -> np.ndarray:
     """``matrixᵀ @ block`` for all supported matrix types."""
     if isinstance(matrix, spla.LinearOperator):
         return np.asarray(matrix.rmatmat(block))
+    if sp.issparse(matrix):
+        return spmm(matrix.T, block, workers=workers)
     return np.asarray(matrix.T @ block)
-
-
-def _orthonormalize(block: np.ndarray) -> np.ndarray:
-    """Economy QR — the sgeqrf/sorgqr pair in Algorithm 3."""
-    q, _ = np.linalg.qr(block)
-    return q
 
 
 def randomized_svd(
@@ -61,6 +69,8 @@ def randomized_svd(
     oversampling: int = 10,
     power_iterations: int = 2,
     seed: SeedLike = None,
+    precision: str = "double",
+    workers: Optional[int] = 1,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Rank-``rank`` randomized SVD of a (possibly implicit) matrix.
 
@@ -77,6 +87,14 @@ def randomized_svd(
         spectra — 0 recovers Algorithm 3 verbatim.
     seed:
         RNG seed or generator.
+    precision:
+        ``"double"`` (default, bit-compatible float64) or ``"single"`` — the
+        paper's MKL dtype policy: cast the operator and sketches to float32
+        once, orthonormalize with Cholesky-QR, keep float64 accumulation
+        only in the small ``sketch×sketch`` reduction.
+    workers:
+        Thread count for the sparse products (``None`` = one per core,
+        capped at 8).  The result is bit-identical for every value.
 
     Returns
     -------
@@ -85,6 +103,9 @@ def randomized_svd(
         descending, ``Vt`` is ``(d, k)``.
     """
     rng = ensure_rng(seed)
+    dtype = resolve_precision(precision)
+    single = dtype == np.float32
+    ortho = "cholesky" if single else "qr"
     rows, cols = matrix.shape
     if rank < 1:
         raise FactorizationError(f"rank must be >= 1, got {rank}")
@@ -96,28 +117,43 @@ def randomized_svd(
         raise FactorizationError(f"oversampling must be >= 0, got {oversampling}")
     sketch = min(rank + oversampling, min(rows, cols))
 
+    if single and hasattr(matrix, "astype") and matrix.dtype != dtype:
+        matrix = matrix.astype(dtype)  # cast the operator once, like MKL's s-path
+
     # Line 1-3: Y = Aᵀ O, orthonormalized.
     with telemetry.span("svd.range_finder", rank=rank, sketch=sketch):
         omega = rng.standard_normal((rows, sketch))
-        y = _orthonormalize(_rmatmat(matrix, omega))
+        if single:
+            omega = omega.astype(dtype)
+        y = orthonormalize(_rmatmat(matrix, omega, workers=workers), strategy=ortho)
     # Optional subspace iteration (QR-stabilized).
     for iteration in range(power_iterations):
         with telemetry.span("svd.power_iteration", iteration=iteration) as span:
-            y = _orthonormalize(
-                _rmatmat(matrix, _orthonormalize(_matmat(matrix, y)))
+            forward = orthonormalize(
+                _matmat(matrix, y, workers=workers), strategy=ortho
+            )
+            y = orthonormalize(
+                _rmatmat(matrix, forward, workers=workers), strategy=ortho
             )
         elapsed = getattr(span, "duration", None)
         if elapsed is not None:
             telemetry.histogram("svd.iteration_seconds").observe(elapsed)
     with telemetry.span("svd.factorize", sketch=sketch):
         # Line 4: B = A Y  (n × sketch).
-        b = _matmat(matrix, y)
+        b = _matmat(matrix, y, workers=workers)
         # Lines 5-6: Z = orth(B P) with P Gaussian (sketch × sketch).
         p = rng.standard_normal((sketch, sketch))
-        z = _orthonormalize(b @ p)
-        # Lines 7-8: small SVD of C = Zᵀ B.
-        c = z.T @ b
+        if single:
+            p = p.astype(dtype)
+        z = orthonormalize(b @ p, strategy=ortho)
+        # Lines 7-8: small SVD of C = Zᵀ B.  In single precision the big-n
+        # reduction accumulates in float64 (the d×d/sketch×sketch exception
+        # to the float32 policy) and the small SVD runs in float64 too.
+        c = gram(z, b) if single else z.T @ b
         u_small, sigma, vt_small = np.linalg.svd(c, full_matrices=False)
+        if single:
+            u_small = u_small.astype(dtype)
+            vt_small = vt_small.astype(dtype)
         # Line 9: map back. Columns of (Z U) approximate left singular
         # vectors of A restricted to range(Y); right vectors are Y V.
         u = z @ u_small[:, :rank]
@@ -131,12 +167,14 @@ def embedding_from_svd(
     """The paper's embedding rule ``X = U Σ^{1/2}``.
 
     ``clip`` optionally caps singular values (numerical guard for tiny
-    graphs with near-duplicate rows); default no clipping.
+    graphs with near-duplicate rows); default no clipping.  The result keeps
+    ``u``'s dtype, so a float32 pipeline stays float32 end to end.
     """
     sigma = np.maximum(sigma, 0.0)
     if clip is not None:
         sigma = np.minimum(sigma, clip)
-    return u * np.sqrt(sigma)[None, :]
+    scale = np.sqrt(sigma).astype(u.dtype, copy=False)
+    return u * scale[None, :]
 
 
 def exact_reference_svd(matrix: MatrixLike, rank: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

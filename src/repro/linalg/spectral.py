@@ -14,7 +14,17 @@ ProNE's ``get_embedding_dense``.
 
 Every matrix product here is an SPMM between a sparse ``n × n`` operator and
 the dense ``n × d`` embedding — the operation the paper offloads to MKL
-Sparse BLAS.
+Sparse BLAS.  They all run through :func:`repro.linalg.kernels.spmm`:
+``workers`` threads them over row blocks (bit-identical at every width), the
+Bessel coefficients are precomputed as one vector, the recurrence ping-pongs
+a fixed set of ``lx0``/``lx1``/``lx2`` buffers with in-place axpy updates
+(no per-term temporaries), and the row-normalized propagation operator
+``D⁻¹(A + I)`` is cached on the graph object keyed by dtype so repeated
+propagation calls — and :class:`~repro.graph.compression.CompressedGraph`
+inputs — neither rebuild nor re-decompress it.  ``precision="single"`` runs
+the whole filter in float32 and swaps the dense-SVD rescale for the
+Gram-trick ``eigh`` (:func:`repro.linalg.kernels.gram_rescale`); the default
+double path is bit-identical to the historical implementation.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from repro import telemetry
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
+from repro.linalg.kernels import gram_rescale, resolve_precision, spmm
 from repro.utils.rng import SeedLike
 
 
@@ -43,6 +54,78 @@ def _row_normalized_adjacency(graph) -> sp.csr_matrix:
     return (sp.diags(inv) @ adjacency).tocsr()
 
 
+def propagation_operator(graph, dtype=np.float64) -> sp.csr_matrix:
+    """The cached row-normalized propagation operator ``D⁻¹(A + I)``.
+
+    The float64 operator is built once per graph and memoized on the graph
+    object (``CSRGraph`` and ``CompressedGraph`` both reserve a cache slot);
+    other dtypes are cast from the cached float64 build and memoized under
+    their own key.  For compressed graphs this also means the decompression
+    happens at most once across all propagation calls.  Callers must not
+    mutate the returned matrix.
+    """
+    dtype = np.dtype(dtype)
+    cache = getattr(graph, "_op_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            graph._op_cache = cache
+        except AttributeError:  # foreign graph-likes without the cache slot
+            cache = None
+    key = ("row_normalized", dtype.str)
+    if cache is not None and key in cache:
+        return cache[key]
+    base_key = ("row_normalized", np.dtype(np.float64).str)
+    if cache is not None and base_key in cache:
+        base = cache[base_key]
+    else:
+        base = _row_normalized_adjacency(graph)
+        if cache is not None:
+            cache[base_key] = base
+    operator = base if dtype == np.float64 else base.astype(dtype)
+    if cache is not None:
+        cache[key] = operator
+    return operator
+
+
+def _modulated_operator(da: sp.csr_matrix, mu: float) -> sp.csr_matrix:
+    """``(I - da) - μI`` built in one pass over ``da``'s entries.
+
+    ``A + I`` guarantees an explicit diagonal entry in every row of ``da``,
+    so the modulated operator has exactly ``da``'s sparsity pattern:
+    off-diagonal entries are ``-da_uv`` and diagonal entries are
+    ``(1 - da_uu) - μ``, with that association.  Within each row the
+    diagonal entry is moved to the front and the rest keep ``da``'s stored
+    order — the first-occurrence merge order scipy's sparse subtraction
+    produces for ``eye - da`` — so SPMM accumulation order, and hence every
+    downstream bit, matches the historical two-``sp.eye`` construction
+    without allocating any identity matrices.
+    """
+    n = da.shape[0]
+    nnz = da.nnz
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(da.indptr))
+    diagonal = da.indices == rows
+    if int(diagonal.sum()) != n:
+        # A row without an explicit diagonal entry (degenerate operator):
+        # fall back to the structure-changing sparse arithmetic.
+        eye = sp.eye(n, format="csr", dtype=da.dtype)
+        return ((eye - da) - mu * eye).tocsr()
+    data = np.negative(da.data)
+    one = np.asarray(1.0, dtype=da.dtype)
+    data[diagonal] = (one - da.data[diagonal]) - np.asarray(mu, dtype=da.dtype)
+    # Permutation: each row's diagonal entry first, the others in order.
+    positions = np.arange(nnz, dtype=np.int64)
+    starts = da.indptr[:-1].astype(np.int64)
+    perm = np.empty(nnz, dtype=np.int64)
+    perm[starts] = positions[diagonal]
+    slot_mask = np.ones(nnz, dtype=bool)
+    slot_mask[starts] = False
+    perm[positions[slot_mask]] = positions[~diagonal]
+    return sp.csr_matrix(
+        (data[perm], da.indices[perm], da.indptr), shape=da.shape, copy=False
+    )
+
+
 def chebyshev_gaussian_filter(
     graph,
     embedding: np.ndarray,
@@ -50,6 +133,8 @@ def chebyshev_gaussian_filter(
     order: int = 10,
     mu: float = 0.2,
     theta: float = 0.5,
+    precision: str = "double",
+    workers: Optional[int] = 1,
 ) -> np.ndarray:
     """Apply the Chebyshev-expanded Gaussian filter to ``embedding``.
 
@@ -63,13 +148,19 @@ def chebyshev_gaussian_filter(
         Polynomial degree ``k`` (paper sets ~10).
     mu, theta:
         Band-pass center and width of the Gaussian kernel.
+    precision:
+        ``"double"`` (default, bit-compatible float64) or ``"single"``
+        (float32 operator, buffers and output).
+    workers:
+        Thread count for the SPMMs (bit-identical at every width).
 
     Returns
     -------
     The propagated (unnormalized) ``(n, d)`` matrix; callers usually pass it
     through :func:`rescale_embedding`.
     """
-    x = np.ascontiguousarray(embedding, dtype=np.float64)
+    dtype = resolve_precision(precision)
+    x = np.ascontiguousarray(embedding, dtype=dtype)
     if x.ndim != 2 or x.shape[0] != graph.num_vertices:
         raise FactorizationError(
             f"embedding shape {x.shape} incompatible with n={graph.num_vertices}"
@@ -77,42 +168,76 @@ def chebyshev_gaussian_filter(
     if order < 1:
         raise FactorizationError(f"order must be >= 1, got {order}")
     if order == 1:
-        return x.copy()
+        # Identity filter: hand back a copy in the *input* dtype (no forced
+        # float64 upcast).
+        return np.array(embedding, copy=True)
 
     with telemetry.span("propagation.operator"):
-        da = _row_normalized_adjacency(graph)
-        n = graph.num_vertices
-        laplacian = sp.eye(n, format="csr") - da
-        modulated = (laplacian - mu * sp.eye(n, format="csr")).tocsr()
+        da = propagation_operator(graph, dtype)
+        modulated = _modulated_operator(da, mu)
 
-    # Chebyshev recurrence (ProNE's exact update rule).
+    # Bessel coefficients i_r(θ), precomputed as one vector.
+    coefficients = iv(np.arange(order), theta)
+
+    # Chebyshev recurrence (ProNE's exact update rule) on ping-pong buffers:
+    # lx0/lx1 hold the last two Chebyshev terms, `spare` receives the next
+    # one, `work` holds SPMM/axpy intermediates.  Apart from the first two
+    # terms, no n×d arrays are allocated inside the loop.
     with telemetry.span("propagation.chebyshev_term", term=0):
-        lx0 = x
-        lx1 = modulated @ x
-        lx1 = 0.5 * (modulated @ lx1) - x
-        conv = iv(0, theta) * lx0
-        conv -= 2.0 * iv(1, theta) * lx1
+        lx0 = x  # read-only alias; replaced by a real buffer at the first swap
+        work = spmm(modulated, x, workers=workers)
+        lx1 = spmm(modulated, work, workers=workers)
+        np.multiply(lx1, 0.5, out=lx1)
+        np.subtract(lx1, x, out=lx1)
+        conv = x * float(coefficients[0])
+        np.multiply(lx1, 2.0 * float(coefficients[1]), out=work)
+        np.subtract(conv, work, out=conv)
     sign = 1.0
+    spare: Optional[np.ndarray] = None
     for i in range(2, order):
         with telemetry.span("propagation.chebyshev_term", term=i) as span:
-            lx2 = modulated @ lx1
-            lx2 = (modulated @ lx2 - 2.0 * lx1) - lx0
-            conv += sign * 2.0 * iv(i, theta) * lx2
+            if spare is None:
+                spare = np.empty_like(x)
+            spmm(modulated, lx1, out=work, workers=workers)   # work = M lx1
+            spmm(modulated, work, out=spare, workers=workers)  # spare = M²lx1
+            np.multiply(lx1, 2.0, out=work)
+            np.subtract(spare, work, out=spare)
+            np.subtract(spare, lx0, out=spare)                 # spare = lx2
+            np.multiply(spare, sign * 2.0 * float(coefficients[i]), out=work)
+            np.add(conv, work, out=conv)
             sign = -sign
-            lx0, lx1 = lx1, lx2
+            released = lx0
+            lx0, lx1, spare = lx1, spare, (None if released is x else released)
         elapsed = getattr(span, "duration", None)
         if elapsed is not None:
             telemetry.histogram("propagation.term_seconds").observe(elapsed)
-    adjacency_plus_i = da  # one more smoothing hop, as in ProNE
-    return np.asarray(adjacency_plus_i @ (x - conv))
+    # One more smoothing hop through D⁻¹(A+I), as in ProNE.
+    np.subtract(x, conv, out=conv)
+    return spmm(da, conv, out=work, workers=workers)
 
 
-def rescale_embedding(matrix: np.ndarray, dimension: Optional[int] = None) -> np.ndarray:
-    """Re-orthogonalize via dense SVD: ``U_d · Σ_d^{1/2}``, then L2-ish rescale.
+def rescale_embedding(
+    matrix: np.ndarray,
+    dimension: Optional[int] = None,
+    *,
+    method: str = "svd",
+) -> np.ndarray:
+    """Re-orthogonalize via ``U_d · Σ_d^{1/2}``, then L2-ish rescale.
 
     Mirrors ProNE's ``get_embedding_dense``: project the propagated signal
     back onto its top singular directions so columns stay well-conditioned.
+    ``method="svd"`` (default) is the full dense float64 SVD — the legacy,
+    bit-compatible path; ``method="gram"`` is the Gram-trick ``eigh`` of the
+    ``d×d`` Gram matrix (:func:`repro.linalg.kernels.gram_rescale`), which
+    matches the SVD result up to column sign, keeps the input dtype, and
+    never materializes an ``n×d`` temporary beyond the output.
     """
+    if method == "gram":
+        return gram_rescale(np.asarray(matrix), dimension)
+    if method != "svd":
+        raise FactorizationError(
+            f"rescale method must be 'svd' or 'gram', got {method!r}"
+        )
     matrix = np.asarray(matrix, dtype=np.float64)
     if dimension is None:
         dimension = matrix.shape[1]
@@ -134,13 +259,22 @@ def spectral_propagation(
     mu: float = 0.2,
     theta: float = 0.5,
     seed: SeedLike = None,
+    precision: str = "double",
+    workers: Optional[int] = 1,
 ) -> np.ndarray:
-    """Full ProNE enhancement: Chebyshev filter then SVD re-orthogonalization.
+    """Full ProNE enhancement: Chebyshev filter then re-orthogonalization.
 
-    ``seed`` is accepted for interface uniformity (the step is deterministic).
+    ``seed`` is accepted for interface uniformity (the step is
+    deterministic).  ``precision="single"`` runs the filter in float32 and
+    re-orthogonalizes with the Gram-trick ``eigh`` instead of the full dense
+    SVD; the default double path is bit-identical to the historical
+    implementation.
     """
+    dtype = resolve_precision(precision)
     filtered = chebyshev_gaussian_filter(
-        graph, embedding, order=order, mu=mu, theta=theta
+        graph, embedding, order=order, mu=mu, theta=theta,
+        precision=precision, workers=workers,
     )
     with telemetry.span("propagation.rescale", dimension=embedding.shape[1]):
-        return rescale_embedding(filtered, embedding.shape[1])
+        method = "gram" if dtype == np.float32 else "svd"
+        return rescale_embedding(filtered, embedding.shape[1], method=method)

@@ -29,6 +29,7 @@ SUBPACKAGES = [
     "repro.sparsifier.aggregation",
     "repro.sparsifier.builder",
     "repro.linalg",
+    "repro.linalg.kernels",
     "repro.linalg.randomized_svd",
     "repro.linalg.spectral",
     "repro.linalg.operators",
