@@ -45,9 +45,24 @@ def pytest_configure(config):
         from repro import telemetry
 
         telemetry.enable()
+    # Benchmark sessions always feed the run ledger: every run_pipeline
+    # call (harness.embed and the experiments-runner paths alike) appends
+    # a RunRecord, building the perf trajectory the regression gate reads.
+    from benchmarks.harness import RUNS_PATH
+    from repro.telemetry import ledger
+
+    ledger.enable(path=RUNS_PATH)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    from benchmarks.harness import RUNS_PATH
+    from repro.telemetry import ledger
+
+    if os.path.exists(RUNS_PATH):
+        terminalreporter.write_line(
+            f"run ledger -> {RUNS_PATH} "
+            f"({len(ledger.RunLedger(RUNS_PATH).records())} records)"
+        )
     if os.environ.get("REPRO_TELEMETRY"):
         from benchmarks.harness import write_metrics_snapshot
 

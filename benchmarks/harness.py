@@ -6,6 +6,7 @@ analog, run the method, evaluate with the paper's protocol, report a table.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -19,8 +20,16 @@ from repro.eval import (
     train_test_split_edges,
 )
 from repro.systems.cost import estimate_cost
+from repro.telemetry import ledger
 
 SEED = 2021  # the year of the paper; fixed everywhere for comparability
+
+# Benchmark runs are *always* recorded to the run ledger (the bench
+# trajectory is the whole point of the benchmarks); REPRO_LEDGER_PATH
+# still wins so CI can point runs at a scratch ledger.
+RUNS_PATH = os.environ.get(ledger.ENV_PATH) or os.path.join(
+    os.path.dirname(__file__), "results", "runs.jsonl"
+)
 
 
 def embed(method: str, graph, *, dimension=32, window=5, multiplier=1.0, seed=SEED,
@@ -31,14 +40,18 @@ def embed(method: str, graph, *, dimension=32, window=5, multiplier=1.0, seed=SE
     Thin wrapper over :func:`repro.experiments.runner.dispatch_method` (which
     resolves ``method`` through :mod:`repro.embedding.registry`) so the
     benchmarks and the library's programmatic experiment API stay in sync.
+    Every call appends one :class:`~repro.telemetry.ledger.RunRecord` to
+    ``benchmarks/results/runs.jsonl`` — the run ledger the regression gate
+    and trajectory reports consume.
     """
     from repro.experiments.runner import dispatch_method
 
-    return dispatch_method(
-        method, graph, dimension=dimension, window=window, multiplier=multiplier,
-        propagate=propagate, downsample=downsample, workers=workers,
-        precision=precision, seed=seed,
-    )
+    with ledger.enabled_scope(path=RUNS_PATH):
+        return dispatch_method(
+            method, graph, dimension=dimension, window=window,
+            multiplier=multiplier, propagate=propagate, downsample=downsample,
+            workers=workers, precision=precision, seed=seed,
+        )
 
 
 def classification_row(
@@ -137,7 +150,12 @@ def cost_of(method: str, seconds: float) -> float:
 
 
 def load(name: str):
-    """Dataset loader with the harness-wide seed."""
+    """Dataset loader with the harness-wide seed.
+
+    Also declares ``name`` as the dataset context for the run ledger, so
+    records produced by subsequent :func:`embed` calls carry it.
+    """
+    ledger.set_dataset(name)
     return load_dataset(name, seed=SEED)
 
 

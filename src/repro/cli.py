@@ -16,8 +16,11 @@ Observability flags (every subcommand, see ``docs/observability.md``):
 ``--verbose`` turns on the library's DEBUG log lines
 (:func:`repro.utils.log.configure_logging`; ``REPRO_LOG`` also works),
 ``--trace-out t.json`` writes a Chrome/Perfetto trace of the run,
-``--metrics-out m.json`` writes the metrics-registry snapshot, and
-``--profile-memory`` samples RSS in the background and reports the peak.
+``--metrics-out m.json`` writes the metrics-registry snapshot,
+``--profile-memory`` samples RSS in the background and reports the peak, and
+``--ledger`` / ``--ledger-out runs.jsonl`` append one
+:class:`~repro.telemetry.ledger.RunRecord` per pipeline run to the run
+ledger (``REPRO_LEDGER=1`` enables the same without a flag).
 """
 
 from __future__ import annotations
@@ -67,11 +70,17 @@ def _detect_format(path: str) -> str:
 
 def _load_graph(args: argparse.Namespace):
     """Resolve ``--input`` (file) or ``--dataset`` (registry) to a graph."""
+    from repro.telemetry import ledger
+
     if args.dataset:
         bundle = load_dataset(args.dataset, seed=args.seed)
+        ledger.set_dataset(bundle.name)
         return bundle.graph, bundle.labels
     if args.input:
+        import os
+
         fmt = getattr(args, "format", None) or _detect_format(args.input)
+        ledger.set_dataset(os.path.splitext(os.path.basename(args.input))[0])
         return _READERS[fmt](args.input), None
     raise SystemExit("one of --input or --dataset is required")
 
@@ -255,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="sample RSS on a background thread and report the peak "
                  "(adds memory gauges to --metrics-out)",
         )
+        p.add_argument(
+            "--ledger", action="store_true",
+            help="append a RunRecord for each pipeline run to the run "
+                 "ledger (benchmarks/results/runs.jsonl unless "
+                 "--ledger-out or REPRO_LEDGER_PATH says otherwise); "
+                 "REPRO_LEDGER=1 does the same without the flag",
+        )
+        p.add_argument(
+            "--ledger-out", metavar="PATH",
+            help="run-ledger JSONL path (implies --ledger)",
+        )
 
     def add_method_arguments(p: argparse.ArgumentParser, dim_default: int) -> None:
         """``--method`` choices and knob flags derived from the registry.
@@ -370,6 +390,7 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     import os
 
     from repro import telemetry
+    from repro.telemetry import ledger as ledger_mod
     from repro.utils.log import configure_logging
 
     if getattr(args, "verbose", False):
@@ -377,12 +398,22 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     elif os.environ.get("REPRO_LOG"):
         configure_logging()
 
+    ledger_out = getattr(args, "ledger_out", None)
+    wants_ledger = bool(getattr(args, "ledger", False) or ledger_out)
+    if wants_ledger:
+        ledger_mod.enable(path=ledger_out)
+
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     profile_mem = getattr(args, "profile_memory", False)
     wants_telemetry = bool(trace_out or metrics_out or profile_mem)
     if not wants_telemetry:
-        return args.func(args)
+        try:
+            return args.func(args)
+        finally:
+            if wants_ledger:
+                print(f"run ledger -> {ledger_mod.active_path()}")
+                ledger_mod.disable()
 
     tracer = telemetry.enable()
     telemetry.reset_metrics()
@@ -406,6 +437,9 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
         if metrics_out:
             telemetry.get_metrics().write_json(metrics_out)
             print(f"metrics -> {metrics_out}")
+        if wants_ledger:
+            print(f"run ledger -> {ledger_mod.active_path()}")
+            ledger_mod.disable()
         telemetry.disable()
     return code
 

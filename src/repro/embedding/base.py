@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import environment, ledger
 from repro.errors import FactorizationError
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike, ensure_rng
@@ -170,6 +171,7 @@ def run_pipeline(
         "m": graph.num_edges,
     }
     info.update(ctx.info)
+    info["env"] = environment.collect_fingerprint()
     info["telemetry_enabled"] = telemetry.is_enabled()
     if telemetry.is_enabled():
         info["telemetry"] = {
@@ -182,4 +184,10 @@ def run_pipeline(
         timer.total,
         ", ".join(f"{name}={secs:.3f}s" for name, secs in timer.as_rows()),
     )
-    return EmbeddingResult(vectors=vectors, method=spec.name, timer=timer, info=info)
+    result = EmbeddingResult(
+        vectors=vectors, method=spec.name, timer=timer, info=info
+    )
+    # Opt-in run ledger (REPRO_LEDGER=1, CLI --ledger, or the benchmark
+    # harness's enabled_scope): one persisted RunRecord per pipeline run.
+    ledger.maybe_record(result, seed=seed, context="run_pipeline")
+    return result

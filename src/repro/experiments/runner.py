@@ -66,9 +66,14 @@ def dispatch_method(
 
 
 def _resolve(dataset: Union[str, LabeledGraph], seed: int) -> LabeledGraph:
+    from repro.telemetry import ledger
+
     if isinstance(dataset, LabeledGraph):
+        ledger.set_dataset(dataset.name)
         return dataset
-    return load_dataset(dataset, seed=seed)
+    bundle = load_dataset(dataset, seed=seed)
+    ledger.set_dataset(bundle.name)
+    return bundle
 
 
 def _cost(method: str, seconds: float) -> float:

@@ -11,6 +11,18 @@ The observability substrate for the whole pipeline (see
 * **Memory** (:mod:`repro.telemetry.memory`) — a background RSS /
   ``tracemalloc`` peak sampler attachable to any span.
 
+On top of the substrate sits the *persistence* layer:
+
+* **Ledger** (:mod:`repro.telemetry.ledger`) — every pipeline run appends
+  one :class:`RunRecord` (params hash, environment fingerprint, Table-5
+  stage times, metrics, peak RSS) to ``benchmarks/results/runs.jsonl``;
+* **Regression gate** (:mod:`repro.telemetry.regression`, CLI
+  ``python -m repro.telemetry.regress``) — noise-aware median/MAD
+  comparison of new runs against ledger baselines;
+* **Reports** (:mod:`repro.telemetry.report`, CLI
+  ``python -m repro.telemetry.report``) — terminal and self-contained
+  HTML trajectory/stage-breakdown/flamegraph rendering.
+
 Everything is **disabled by default** and the instrumentation left in the
 hot paths costs a single gated function call in that state.  Typical use::
 
@@ -57,6 +69,8 @@ from repro.telemetry.memory import (
     peak_rss_bytes,
     profile_memory,
 )
+from repro.telemetry.environment import collect_fingerprint, fingerprint_key
+from repro.telemetry.ledger import RunLedger, RunRecord
 
 __all__ = [
     # tracer
@@ -87,4 +101,9 @@ __all__ = [
     "profile_memory",
     "current_rss_bytes",
     "peak_rss_bytes",
+    # environment & ledger
+    "collect_fingerprint",
+    "fingerprint_key",
+    "RunLedger",
+    "RunRecord",
 ]

@@ -1,0 +1,444 @@
+"""The run ledger: every pipeline run becomes one persisted ``RunRecord``.
+
+PR 2's spans and metrics evaporate at process exit, so nothing could say
+whether a change made the sparsifier 2× slower.  The ledger fixes that:
+each run appends one structured JSON line — method, canonical params hash,
+dataset, seed, environment fingerprint, the Table-5 per-stage wall times
+lifted from the run's :class:`~repro.utils.timer.StageTimer`, a compacted
+metrics snapshot, peak RSS and optional quality metrics — to
+``benchmarks/results/runs.jsonl`` via a crash-safe atomic append
+(:func:`repro.utils.fileio.append_line`).  Downstream,
+:mod:`repro.telemetry.regression` selects baselines from the ledger and
+:mod:`repro.telemetry.report` renders trajectories from it.
+
+Recording is **opt-in** and piggybacks on :func:`repro.embedding.base.run_pipeline`:
+
+* ``REPRO_LEDGER=1`` in the environment, or
+* :func:`enable` (what the CLI's ``--ledger`` flag calls), or
+* :func:`enabled_scope` around a block (what ``benchmarks/harness.embed``
+  uses so benchmark runs are *always* recorded).
+
+Because graphs don't know their dataset name (``CSRGraph`` is slotted),
+the dataset travels through a module-level context: loaders call
+:func:`set_dataset` and the next recorded runs carry that name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.telemetry.environment import collect_fingerprint, fingerprint_key
+from repro.utils.fileio import append_line
+from repro.utils.log import get_logger
+
+logger = get_logger(__name__)
+
+SCHEMA_VERSION = 1
+
+ENV_ENABLE = "REPRO_LEDGER"
+ENV_PATH = "REPRO_LEDGER_PATH"
+DEFAULT_PATH = os.path.join("benchmarks", "results", "runs.jsonl")
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+# Fields every schema-valid record line must carry.
+REQUIRED_FIELDS = (
+    "schema",
+    "run_id",
+    "timestamp",
+    "method",
+    "dataset",
+    "params",
+    "params_hash",
+    "env",
+    "fingerprint",
+    "stages",
+    "total_s",
+)
+
+
+def params_hash(params: Mapping[str, object]) -> str:
+    """Canonical short hash of a params dict (order-independent)."""
+    payload = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def compact_metrics(snapshot: Mapping[str, object]) -> Dict[str, object]:
+    """Shrink a registry snapshot for ledger lines.
+
+    Counters and gauges pass through; histograms keep only their summary
+    stats (bucket arrays would dominate the line size without helping
+    cross-run comparison).
+    """
+    histograms = {}
+    for name, hist in dict(snapshot.get("histograms", {})).items():
+        histograms[name] = {
+            key: hist.get(key) for key in ("count", "sum", "mean", "min", "max")
+        }
+    return {
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": histograms,
+    }
+
+
+@dataclass
+class RunRecord:
+    """One persisted run: identity, environment, timings, metrics, quality."""
+
+    method: str
+    dataset: str
+    params: Dict[str, object] = field(default_factory=dict)
+    stages: Dict[str, float] = field(default_factory=dict)
+    total_s: float = 0.0
+    seed: Optional[int] = None
+    env: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    quality: Dict[str, float] = field(default_factory=dict)
+    peak_rss_bytes: Optional[int] = None
+    context: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+    run_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    timestamp: float = field(default_factory=time.time)
+    params_hash: str = ""
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.params_hash:
+            self.params_hash = params_hash(self.params)
+        if not self.fingerprint:
+            self.fingerprint = fingerprint_key(self.env) if self.env else ""
+
+    # -------------------------------------------------------------- identity
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline-selection identity: method × dataset × params hash."""
+        return (self.method, self.dataset, self.params_hash)
+
+    @property
+    def git_sha(self) -> Optional[str]:
+        """Commit the run was taken at, when the fingerprint captured one."""
+        sha = self.env.get("git_sha")
+        return str(sha) if sha else None
+
+    def stage_seconds(self, stage: str) -> Optional[float]:
+        """Seconds for ``stage`` (``"total"`` works too), ``None`` if absent."""
+        if stage == "total":
+            return self.total_s
+        value = self.stages.get(stage)
+        if value is None:
+            return None
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            return None
+        return value
+
+    # ----------------------------------------------------------- (de)ser
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dict, field order fixed for readable lines."""
+        return {
+            "schema": self.schema,
+            "run_id": self.run_id,
+            "timestamp": self.timestamp,
+            "method": self.method,
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "params": self.params,
+            "params_hash": self.params_hash,
+            "env": self.env,
+            "fingerprint": self.fingerprint,
+            "stages": self.stages,
+            "total_s": self.total_s,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "metrics": self.metrics,
+            "quality": self.quality,
+            "context": self.context,
+            "extra": self.extra,
+        }
+
+    def to_json(self) -> str:
+        """The record as one JSONL line (no trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=False, default=str)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunRecord":
+        """Rebuild a record from a parsed ledger line (tolerant of extras)."""
+        return cls(
+            method=str(data.get("method", "")),
+            dataset=str(data.get("dataset", "")),
+            params=dict(data.get("params") or {}),
+            stages={
+                str(k): v for k, v in dict(data.get("stages") or {}).items()
+            },
+            total_s=float(data.get("total_s") or 0.0),
+            seed=data.get("seed"),  # type: ignore[arg-type]
+            env=dict(data.get("env") or {}),
+            metrics=dict(data.get("metrics") or {}),
+            quality=dict(data.get("quality") or {}),
+            peak_rss_bytes=data.get("peak_rss_bytes"),  # type: ignore[arg-type]
+            context=str(data.get("context") or ""),
+            extra=dict(data.get("extra") or {}),
+            schema=int(data.get("schema") or SCHEMA_VERSION),
+            run_id=str(data.get("run_id") or uuid.uuid4().hex[:12]),
+            timestamp=float(data.get("timestamp") or 0.0),
+            params_hash=str(data.get("params_hash") or ""),
+            fingerprint=str(data.get("fingerprint") or ""),
+        )
+
+
+def validate_record(data: Mapping[str, object]) -> List[str]:
+    """Schema problems in a parsed ledger line (empty list = valid)."""
+    problems = [f"missing field {name!r}" for name in REQUIRED_FIELDS if name not in data]
+    if "stages" in data and not isinstance(data["stages"], Mapping):
+        problems.append("'stages' must be an object")
+    if "params" in data and not isinstance(data["params"], Mapping):
+        problems.append("'params' must be an object")
+    if "schema" in data and data["schema"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema version {data['schema']!r} != {SCHEMA_VERSION}"
+        )
+    return problems
+
+
+class RunLedger:
+    """Append-only JSONL store of :class:`RunRecord` lines."""
+
+    def __init__(self, path: Union[str, "os.PathLike"] = DEFAULT_PATH) -> None:
+        self.path = os.fspath(path)
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Persist ``record`` as one atomically appended line."""
+        append_line(self.path, record.to_json())
+        return record
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Yield parsed records, skipping (and logging) malformed lines."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    logger.warning(
+                        "ledger %s: skipping malformed line %d", self.path, lineno
+                    )
+                    continue
+                if not isinstance(data, dict) or "method" not in data:
+                    logger.warning(
+                        "ledger %s: skipping non-record line %d", self.path, lineno
+                    )
+                    continue
+                yield RunRecord.from_dict(data)
+
+    def records(self) -> List[RunRecord]:
+        """All parseable records, in append (chronological) order."""
+        return list(self.iter_records())
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+def load_records(path: Union[str, "os.PathLike"]) -> List[RunRecord]:
+    """Convenience: the records of the ledger at ``path``."""
+    return RunLedger(path).records()
+
+
+# ---------------------------------------------------------------------------
+# Process-level opt-in state: is recording on, where, and for which dataset.
+# ---------------------------------------------------------------------------
+
+_state_lock = threading.Lock()
+_enabled = False
+_path: Optional[str] = None
+_dataset: Optional[str] = None
+
+
+def enable(
+    path: Optional[Union[str, "os.PathLike"]] = None,
+    dataset: Optional[str] = None,
+) -> None:
+    """Turn on run recording for this process (what ``--ledger`` does)."""
+    global _enabled, _path, _dataset
+    with _state_lock:
+        _enabled = True
+        if path is not None:
+            _path = os.fspath(path)
+        if dataset is not None:
+            _dataset = dataset
+
+
+def disable() -> None:
+    """Turn off run recording and clear the configured path."""
+    global _enabled, _path
+    with _state_lock:
+        _enabled = False
+        _path = None
+
+
+def is_enabled() -> bool:
+    """Whether runs are currently recorded (:func:`enable` or ``REPRO_LEDGER``)."""
+    if _enabled:
+        return True
+    return os.environ.get(ENV_ENABLE, "").strip().lower() in _TRUTHY
+
+
+def active_path() -> str:
+    """The ledger file new records go to (flag > env > default)."""
+    if _path is not None:
+        return _path
+    return os.environ.get(ENV_PATH) or DEFAULT_PATH
+
+
+def set_dataset(name: Optional[str]) -> None:
+    """Declare the dataset subsequent runs operate on (loader hook)."""
+    global _dataset
+    _dataset = name
+
+
+def current_dataset() -> Optional[str]:
+    """The dataset name the next record will carry (``None`` = unknown)."""
+    return _dataset
+
+
+@contextmanager
+def enabled_scope(
+    path: Optional[Union[str, "os.PathLike"]] = None,
+    dataset: Optional[str] = None,
+) -> Iterator[None]:
+    """Temporarily force recording on (the benchmark harness's discipline)."""
+    global _enabled, _path, _dataset
+    with _state_lock:
+        prev = (_enabled, _path, _dataset)
+        _enabled = True
+        if path is not None:
+            _path = os.fspath(path)
+        if dataset is not None:
+            _dataset = dataset
+    try:
+        yield
+    finally:
+        with _state_lock:
+            _enabled, _path, _dataset = prev
+
+
+# ---------------------------------------------------------------------------
+# Record construction from an EmbeddingResult.
+# ---------------------------------------------------------------------------
+
+
+def _registry_stage_order(method: str) -> Tuple[str, ...]:
+    """The method's declared Table-5 stage order (empty when unregistered)."""
+    try:
+        from repro.embedding.registry import get_method
+
+        return tuple(get_method(method).stages)
+    except Exception:
+        return ()
+
+
+def _peak_rss(metrics: Mapping[str, object]) -> Optional[int]:
+    """Peak RSS: the profiled gauge when present, else the OS lifetime peak."""
+    gauges = metrics.get("gauges", {})
+    if isinstance(gauges, Mapping):
+        gauge = gauges.get("memory.rss_peak_bytes")
+        if isinstance(gauge, Mapping) and gauge.get("max") is not None:
+            return int(gauge["max"])  # type: ignore[arg-type]
+    from repro.telemetry.memory import peak_rss_bytes
+
+    peak = peak_rss_bytes()
+    return int(peak) if peak is not None else None
+
+
+def build_record(
+    result,
+    *,
+    dataset: Optional[str] = None,
+    seed: Optional[object] = None,
+    quality: Optional[Mapping[str, float]] = None,
+    context: str = "",
+    extra: Optional[Mapping[str, object]] = None,
+) -> RunRecord:
+    """Turn an :class:`~repro.embedding.base.EmbeddingResult` into a record.
+
+    Stage timings come from the result's ``StageTimer`` in the **registry's
+    declared stage order** (Table 5 columns), so cross-run diffs line up
+    column-for-column regardless of the order stages happened to execute.
+    """
+    info = dict(getattr(result, "info", {}) or {})
+    env = info.get("env") or collect_fingerprint()
+    raw_metrics = {}
+    telemetry_info = info.get("telemetry")
+    if isinstance(telemetry_info, Mapping):
+        snapshot = telemetry_info.get("metrics")
+        if isinstance(snapshot, Mapping):
+            raw_metrics = compact_metrics(snapshot)
+    order = _registry_stage_order(result.method)
+    stages = result.timer.ordered_stages(order)
+    return RunRecord(
+        method=result.method,
+        dataset=dataset or current_dataset() or "unknown",
+        params=dict(info.get("params") or {}),
+        stages={name: float(secs) for name, secs in stages.items()},
+        total_s=float(result.timer.total),
+        seed=seed if isinstance(seed, int) else None,
+        env=dict(env),
+        metrics=raw_metrics,
+        quality=dict(quality or {}),
+        peak_rss_bytes=_peak_rss(raw_metrics),
+        context=context,
+        extra=dict(extra or {}),
+    )
+
+
+def record_result(
+    result,
+    *,
+    path: Optional[Union[str, "os.PathLike"]] = None,
+    dataset: Optional[str] = None,
+    seed: Optional[object] = None,
+    quality: Optional[Mapping[str, float]] = None,
+    context: str = "",
+    extra: Optional[Mapping[str, object]] = None,
+) -> RunRecord:
+    """Build a record from ``result`` and append it to the ledger."""
+    record = build_record(
+        result, dataset=dataset, seed=seed, quality=quality,
+        context=context, extra=extra,
+    )
+    RunLedger(path if path is not None else active_path()).append(record)
+    return record
+
+
+def maybe_record(
+    result,
+    *,
+    seed: Optional[object] = None,
+    context: str = "",
+) -> Optional[RunRecord]:
+    """Record ``result`` iff the ledger is enabled; never raises.
+
+    This is the :func:`run_pipeline` hook: a failed append (read-only
+    filesystem, bad path) logs a warning instead of failing the embedding
+    run that produced the result.
+    """
+    if not is_enabled():
+        return None
+    try:
+        return record_result(result, seed=seed, context=context)
+    except Exception as exc:
+        logger.warning("run ledger append failed: %s", exc)
+        return None

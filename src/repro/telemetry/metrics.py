@@ -255,9 +255,15 @@ class MetricsRegistry:
         }
 
     def write_json(self, path: Union[str, "os.PathLike"]) -> None:
-        """Persist :meth:`snapshot` to ``path`` as JSON."""
-        with open(path, "w", encoding="utf-8") as out:
-            json.dump(self.snapshot(), out, indent=2)
+        """Persist :meth:`snapshot` to ``path`` as JSON.
+
+        Crash-safe: missing parent directories are created and the payload
+        is staged in a temp file then renamed over ``path``, so a killed run
+        never leaves a truncated ``metrics.json`` behind.
+        """
+        from repro.utils.fileio import atomic_write_json
+
+        atomic_write_json(path, self.snapshot(), indent=2)
 
     def reset(self) -> None:
         """Drop every instrument (fresh registry state)."""

@@ -1,0 +1,183 @@
+"""CI regression gate: ``python -m repro.telemetry.regress``.
+
+Thin CLI over :mod:`repro.telemetry.regression`.  Reads the run ledger,
+compares the newest run(s) of every ``method × dataset × params-hash``
+group against their baseline, prints a per-stage delta table and exits
+
+* ``0`` — no confirmed regression (including the empty-ledger and
+  no-baseline cases, which warn instead of failing: a gate that has
+  nothing to compare must not block),
+* ``1`` — at least one confirmed regression in a fingerprint-matched
+  group.
+
+A fingerprint mismatch (different CPU / BLAS / library versions than every
+baseline run) downgrades the affected group to warn-only: the table is
+still printed, but cross-hardware deltas never fail the gate.
+
+Examples
+--------
+Gate the newest run in the default ledger::
+
+    python -m repro.telemetry.regress
+
+Gate against a separately committed baseline ledger, with a looser bound
+for the sparsifier stage::
+
+    python -m repro.telemetry.regress --ledger new_runs.jsonl \\
+        --baseline benchmarks/results/runs.jsonl \\
+        --tolerance 0.5 --stage-tolerance sparsifier=1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro.telemetry.ledger import RunLedger
+from repro.telemetry.regression import (
+    DEFAULT_ABS_SLACK,
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_TOLERANCE,
+    DEFAULT_Z_THRESHOLD,
+    RegressionReport,
+    detect,
+)
+from repro.telemetry.report import format_rows
+
+
+def _parse_stage_tolerances(pairs: Sequence[str]) -> Dict[str, float]:
+    """``["sparsifier=0.5", "svd=0.3"]`` -> ``{"sparsifier": 0.5, ...}``."""
+    out: Dict[str, float] = {}
+    for pair in pairs:
+        for item in pair.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise SystemExit(
+                    f"--stage-tolerance expects STAGE=FRACTION, got {item!r}"
+                )
+            stage, _, value = item.partition("=")
+            try:
+                out[stage.strip()] = float(value)
+            except ValueError:
+                raise SystemExit(
+                    f"--stage-tolerance {item!r}: {value!r} is not a number"
+                )
+    return out
+
+
+def _print_report(report: RegressionReport) -> None:
+    gate = "gate" if report.gated else "warn-only"
+    print(
+        f"\n=== {report.method} × {report.dataset} "
+        f"[params {report.params_hash[:8]}] — "
+        f"{report.candidate_count} candidate vs {report.baseline_count} "
+        f"baseline runs ({gate}) ==="
+    )
+    for warning in report.warnings:
+        print(f"  warning: {warning}")
+    if report.deltas:
+        print(format_rows([d.as_row() for d in report.deltas]))
+    status = "OK" if report.ok else "REGRESSION"
+    if report.regressions:
+        stages = ", ".join(d.stage for d in report.regressions)
+        qualifier = "" if report.gated else " (not gated: fingerprint mismatch)"
+        print(f"  -> {status}: slower stages: {stages}{qualifier}")
+    else:
+        print(f"  -> {status}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.regress",
+        description="Statistical perf-regression gate over the run ledger",
+    )
+    parser.add_argument(
+        "--ledger", default=RunLedger().path,
+        help="candidate ledger (runs.jsonl); its newest runs are gated",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="separate baseline ledger (default: earlier runs of --ledger)",
+    )
+    parser.add_argument("--method", help="gate only this method")
+    parser.add_argument("--dataset", help="gate only this dataset")
+    parser.add_argument(
+        "--candidate-runs", type=int, default=1,
+        help="how many newest runs per group form the candidate (median)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative slowdown that trips the gate (default %(default)s)",
+    )
+    parser.add_argument(
+        "--stage-tolerance", action="append", default=[],
+        metavar="STAGE=FRACTION",
+        help="per-stage tolerance override (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--abs-slack", type=float, default=DEFAULT_ABS_SLACK,
+        help="absolute seconds a stage must slow down by (default %(default)s)",
+    )
+    parser.add_argument(
+        "--z-threshold", type=float, default=DEFAULT_Z_THRESHOLD,
+        help="robust sigmas beyond baseline noise (default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        help="stages faster than this are never gated (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    stage_tolerances = _parse_stage_tolerances(args.stage_tolerance)
+
+    records = RunLedger(args.ledger).records()
+    if not records:
+        print(f"ledger {args.ledger}: empty or missing — nothing to gate")
+        return 0
+
+    baseline_records = None
+    if args.baseline:
+        baseline_records = RunLedger(args.baseline).records()
+        if not baseline_records:
+            print(
+                f"baseline ledger {args.baseline}: empty or missing — "
+                "nothing to gate"
+            )
+            return 0
+
+    reports = detect(
+        records,
+        method=args.method,
+        dataset=args.dataset,
+        candidate_runs=args.candidate_runs,
+        tolerance=args.tolerance,
+        stage_tolerances=stage_tolerances,
+        abs_slack=args.abs_slack,
+        z_threshold=args.z_threshold,
+        min_seconds=args.min_seconds,
+        baseline_records=baseline_records,
+    )
+    if not reports:
+        print("no runs match the requested method/dataset filters")
+        return 0
+
+    for report in reports:
+        _print_report(report)
+
+    failed = [r for r in reports if not r.ok]
+    print()
+    if failed:
+        print(
+            f"regression gate: FAILED "
+            f"({len(failed)}/{len(reports)} groups regressed)"
+        )
+        return 1
+    print(f"regression gate: passed ({len(reports)} groups)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

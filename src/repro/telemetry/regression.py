@@ -1,0 +1,336 @@
+"""Statistical performance-regression detection over the run ledger.
+
+Given a ledger (:mod:`repro.telemetry.ledger`), the detector answers one
+question per ``method × dataset × params-hash`` group: *did the newest
+run(s) get slower than the established baseline, beyond measurement
+noise?*  The comparison is deliberately robust rather than clever:
+
+* the **baseline** is every earlier matching run — same method, dataset,
+  canonical params hash and (preferably) environment fingerprint; when no
+  fingerprint-matching baseline exists the detector falls back to ignoring
+  the fingerprint and downgrades the whole group to *warn-only* (different
+  hardware cannot hard-fail a gate);
+* per stage, the baseline is summarized by its **median** and **MAD**
+  (median absolute deviation, the robust spread estimate; scaled by 1.4826
+  it estimates sigma for normal noise);
+* a stage is a **confirmed regression** only when *all* noise guards
+  trip: the candidate median exceeds the baseline median by the relative
+  tolerance, by the absolute slack, and — when the baseline has enough
+  samples to estimate spread — by ``z_threshold`` robust sigmas.  A
+  single-sample baseline has no MAD, so only the tolerance checks apply.
+
+``NaN`` or missing stage timings never crash the gate: they are dropped
+from the statistics and reported as notes.  Speedups are never flagged.
+
+The CLI wrapper lives in :mod:`repro.telemetry.regress`
+(``python -m repro.telemetry.regress``), which exits non-zero on a
+confirmed regression and prints the per-stage delta table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.telemetry.ledger import RunRecord
+
+# A stage must be at least this slow (baseline or candidate) to be gated at
+# all; micro-stages in the microsecond range are pure scheduling noise.
+DEFAULT_MIN_SECONDS = 0.005
+DEFAULT_TOLERANCE = 0.25     # candidate > baseline by 25 % trips the gate...
+DEFAULT_ABS_SLACK = 0.05     # ...but only if it is also 50 ms slower...
+DEFAULT_Z_THRESHOLD = 3.0    # ...and 3 robust sigmas out (when MAD exists).
+
+MAD_SIGMA_SCALE = 1.4826     # MAD -> sigma under normal noise
+
+
+def median(values: Sequence[float]) -> float:
+    """Plain median (values must be non-empty)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def _finite(values: Sequence[Optional[float]]) -> List[float]:
+    """Drop ``None`` and non-finite entries."""
+    return [
+        float(v)
+        for v in values
+        if v is not None and isinstance(v, (int, float)) and math.isfinite(float(v))
+    ]
+
+
+@dataclass
+class StageDelta:
+    """One stage's baseline-vs-candidate comparison."""
+
+    stage: str
+    baseline_median: Optional[float]
+    baseline_mad: Optional[float]
+    baseline_count: int
+    candidate: Optional[float]
+    rel_delta: Optional[float] = None   # (cand - base) / base
+    z_score: Optional[float] = None     # robust sigmas above baseline
+    regressed: bool = False
+    note: str = ""
+
+    def as_row(self) -> Dict[str, object]:
+        """The delta-table row the CLI prints."""
+        return {
+            "stage": self.stage,
+            "baseline_s": None if self.baseline_median is None
+            else round(self.baseline_median, 4),
+            "mad_s": None if self.baseline_mad is None
+            else round(self.baseline_mad, 4),
+            "n_base": self.baseline_count,
+            "candidate_s": None if self.candidate is None
+            else round(self.candidate, 4),
+            "delta_%": None if self.rel_delta is None
+            else round(100.0 * self.rel_delta, 1),
+            "z": None if self.z_score is None else round(self.z_score, 2),
+            "verdict": "REGRESSED" if self.regressed
+            else (self.note or "ok"),
+        }
+
+
+@dataclass
+class RegressionReport:
+    """The gate's verdict for one ``method × dataset × params-hash`` group."""
+
+    method: str
+    dataset: str
+    params_hash: str
+    baseline_count: int
+    candidate_count: int
+    fingerprint_matched: bool
+    deltas: List[StageDelta] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[StageDelta]:
+        """The stages that confirmed a regression."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def gated(self) -> bool:
+        """Whether this group may fail the gate (fingerprint matched)."""
+        return self.fingerprint_matched
+
+    @property
+    def ok(self) -> bool:
+        """True unless a gated group confirmed at least one regression."""
+        return not (self.gated and self.regressions)
+
+
+def select_baseline(
+    records: Sequence[RunRecord],
+    candidate: RunRecord,
+    *,
+    match_fingerprint: bool = True,
+) -> Tuple[List[RunRecord], bool]:
+    """Earlier runs comparable to ``candidate``.
+
+    Matching is ``method × dataset × params_hash``; with
+    ``match_fingerprint`` the environment fingerprint must also agree.
+    Returns ``(baseline_records, fingerprint_matched)`` — when no
+    fingerprint-matching baseline exists the selection silently retries
+    without the fingerprint and reports ``fingerprint_matched=False`` so
+    the caller can warn instead of gate.
+    """
+    same_key = [
+        r for r in records
+        if r.key == candidate.key and r.run_id != candidate.run_id
+    ]
+    if match_fingerprint and candidate.fingerprint:
+        matched = [r for r in same_key if r.fingerprint == candidate.fingerprint]
+        if matched:
+            return matched, True
+        return same_key, False
+    return same_key, True
+
+
+def _stage_union(records: Sequence[RunRecord]) -> List[str]:
+    """Stage names across ``records`` in first-appearance order, then total."""
+    names: List[str] = []
+    for record in records:
+        for name in record.stages:
+            if name not in names:
+                names.append(name)
+    names.append("total")
+    return names
+
+
+def compare(
+    baseline: Sequence[RunRecord],
+    candidates: Sequence[RunRecord],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    stage_tolerances: Optional[Mapping[str, float]] = None,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    fingerprint_matched: bool = True,
+) -> RegressionReport:
+    """Noise-aware per-stage comparison of ``candidates`` vs ``baseline``.
+
+    ``candidates`` (usually the most recent run, or the last *k* repeats)
+    are summarized by their median per stage; so is the baseline, together
+    with its MAD.  Per-stage relative tolerances override the default via
+    ``stage_tolerances``.
+    """
+    stage_tolerances = dict(stage_tolerances or {})
+    anchor = candidates[0] if candidates else (baseline[0] if baseline else None)
+    report = RegressionReport(
+        method=anchor.method if anchor else "",
+        dataset=anchor.dataset if anchor else "",
+        params_hash=anchor.params_hash if anchor else "",
+        baseline_count=len(baseline),
+        candidate_count=len(candidates),
+        fingerprint_matched=fingerprint_matched,
+    )
+    if not baseline:
+        report.warnings.append("no matching baseline runs — nothing to gate")
+        return report
+    if not candidates:
+        report.warnings.append("no candidate runs selected")
+        return report
+    if not fingerprint_matched:
+        report.warnings.append(
+            "environment fingerprint differs from every baseline run — "
+            "comparison is advisory only (warn, not gate)"
+        )
+
+    for stage in _stage_union(list(baseline) + list(candidates)):
+        base_values = _finite([r.stage_seconds(stage) for r in baseline])
+        cand_values = _finite([r.stage_seconds(stage) for r in candidates])
+        if not base_values and not cand_values:
+            continue
+        if not cand_values:
+            report.deltas.append(
+                StageDelta(
+                    stage=stage,
+                    baseline_median=median(base_values),
+                    baseline_mad=mad(base_values) if len(base_values) > 1 else None,
+                    baseline_count=len(base_values),
+                    candidate=None,
+                    note="missing in candidate",
+                )
+            )
+            continue
+        cand = median(cand_values)
+        if not base_values:
+            report.deltas.append(
+                StageDelta(
+                    stage=stage,
+                    baseline_median=None,
+                    baseline_mad=None,
+                    baseline_count=0,
+                    candidate=cand,
+                    note="new stage (no baseline)",
+                )
+            )
+            continue
+
+        base = median(base_values)
+        spread = mad(base_values, base) if len(base_values) > 1 else None
+        delta = StageDelta(
+            stage=stage,
+            baseline_median=base,
+            baseline_mad=spread,
+            baseline_count=len(base_values),
+            candidate=cand,
+        )
+        delta.rel_delta = (cand - base) / base if base > 0 else None
+        if spread is not None and spread > 0:
+            delta.z_score = (cand - base) / (MAD_SIGMA_SCALE * spread)
+
+        if max(base, cand) < min_seconds:
+            delta.note = "below min_seconds"
+        elif delta.rel_delta is None:
+            delta.note = "zero baseline"
+        else:
+            stage_tol = stage_tolerances.get(stage, tolerance)
+            slower_enough = (
+                delta.rel_delta > stage_tol and (cand - base) > abs_slack
+            )
+            # With >= 2 baseline samples and a real spread estimate, also
+            # require the candidate to be z_threshold robust sigmas out;
+            # a single-sample baseline (or zero MAD) relies on the
+            # tolerance checks alone.
+            noise_confirmed = (
+                delta.z_score is None or delta.z_score > z_threshold
+            )
+            delta.regressed = slower_enough and noise_confirmed
+            if not delta.regressed and slower_enough:
+                delta.note = "within noise (z)"
+        report.deltas.append(delta)
+    return report
+
+
+def detect(
+    records: Sequence[RunRecord],
+    *,
+    method: Optional[str] = None,
+    dataset: Optional[str] = None,
+    candidate_runs: int = 1,
+    tolerance: float = DEFAULT_TOLERANCE,
+    stage_tolerances: Optional[Mapping[str, float]] = None,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    baseline_records: Optional[Sequence[RunRecord]] = None,
+) -> List[RegressionReport]:
+    """Run the gate over every matching group in ``records``.
+
+    ``records`` is the ledger in chronological order.  For each
+    ``method × dataset × params-hash`` group (optionally filtered), the
+    newest ``candidate_runs`` records are compared against the group's
+    earlier runs — or against ``baseline_records`` when an explicit
+    baseline ledger is supplied (the CI shape: candidate ledger from this
+    build, baseline ledger from the committed results).
+    """
+    groups: Dict[Tuple[str, str, str], List[RunRecord]] = {}
+    for record in records:
+        if method is not None and record.method != method:
+            continue
+        if dataset is not None and record.dataset != dataset:
+            continue
+        groups.setdefault(record.key, []).append(record)
+
+    reports: List[RegressionReport] = []
+    for key in sorted(groups):
+        group = groups[key]
+        candidates = group[-candidate_runs:]
+        if baseline_records is not None:
+            pool: Sequence[RunRecord] = [
+                r for r in baseline_records if r.key == key
+            ]
+        else:
+            pool = group[: len(group) - len(candidates)]
+        baseline, matched = select_baseline(pool, candidates[-1])
+        # select_baseline drops the candidate itself from explicit pools
+        # and applies fingerprint preference in one place.
+        reports.append(
+            compare(
+                baseline,
+                candidates,
+                tolerance=tolerance,
+                stage_tolerances=stage_tolerances,
+                abs_slack=abs_slack,
+                z_threshold=z_threshold,
+                min_seconds=min_seconds,
+                fingerprint_matched=matched,
+            )
+        )
+    return reports

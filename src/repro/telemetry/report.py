@@ -1,0 +1,524 @@
+"""Perf-trajectory reports over the run ledger (terminal + static HTML).
+
+Three render targets, all fed by :mod:`repro.telemetry.ledger` records:
+
+* **terminal** — per-run Table-5 stage breakdowns, unicode sparkline
+  trajectories per ``method × dataset`` group, and metrics diffs between
+  any two runs (``python -m repro.telemetry.report``);
+* **HTML** — a single self-contained file (inline CSS + inline SVG, no
+  external/network assets) with the same sections plus, when a Chrome
+  trace-event JSON is supplied, a flamegraph-style icicle view of the
+  span tree;
+* **rows** — the plain list-of-dict tables other tooling (the regress CLI)
+  prints through :func:`format_rows`.
+
+Nothing here imports the embedding stack; the report runs on any machine
+that has the ledger file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html as html_mod
+import json
+import sys
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.telemetry.ledger import RunLedger, RunRecord
+from repro.utils.fileio import atomic_write_text
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+# ---------------------------------------------------------------------------
+# Plain-text building blocks
+# ---------------------------------------------------------------------------
+
+
+def format_rows(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render list-of-dict rows as an aligned text table (column order = row 0)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if value is None:
+            return "NA"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = {
+        c: max(len(str(c)), *(len(fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(fmt(r.get(c)).ljust(widths[c]) for c in columns) for r in rows
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of ``values`` (empty string for no data)."""
+    finite = [float(v) for v in values if v is not None]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    if hi <= lo:
+        return SPARK_CHARS[0] * len(finite)
+    span = hi - lo
+    return "".join(
+        SPARK_CHARS[min(len(SPARK_CHARS) - 1, int((v - lo) / span * len(SPARK_CHARS)))]
+        for v in finite
+    )
+
+
+def _stamp(record: RunRecord) -> str:
+    """Human-readable UTC timestamp for a record."""
+    if not record.timestamp:
+        return "?"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(record.timestamp))
+
+
+def format_run(record: RunRecord) -> str:
+    """One run's Table-5 stage breakdown plus identity, as text."""
+    lines = [
+        f"run {record.run_id}  {record.method} × {record.dataset}  "
+        f"[params {record.params_hash}]  {_stamp(record)}",
+    ]
+    sha = record.git_sha
+    meta: List[str] = []
+    if sha:
+        meta.append(f"git {sha[:10]}")
+    if record.seed is not None:
+        meta.append(f"seed {record.seed}")
+    if record.peak_rss_bytes:
+        meta.append(f"peak RSS {record.peak_rss_bytes / (1 << 20):,.1f} MiB")
+    if meta:
+        lines.append("  " + "  ".join(meta))
+    rows = [
+        {"stage": name, "seconds": round(float(secs), 4)}
+        for name, secs in record.stages.items()
+    ]
+    rows.append({"stage": "total", "seconds": round(record.total_s, 4)})
+    lines.append(format_rows(rows))
+    if record.quality:
+        lines.append(
+            "  quality: "
+            + ", ".join(f"{k}={v:g}" for k, v in record.quality.items())
+        )
+    return "\n".join(lines)
+
+
+def group_records(
+    records: Sequence[RunRecord],
+) -> Dict[Tuple[str, str, str], List[RunRecord]]:
+    """Ledger records grouped by ``method × dataset × params-hash``."""
+    groups: Dict[Tuple[str, str, str], List[RunRecord]] = {}
+    for record in records:
+        groups.setdefault(record.key, []).append(record)
+    return groups
+
+
+def trajectory_rows(records: Sequence[RunRecord]) -> List[Dict[str, object]]:
+    """One trajectory row per group: run count, latest total, sparkline."""
+    rows: List[Dict[str, object]] = []
+    for key in sorted(group_records(records)):
+        group = group_records(records)[key]
+        totals = [r.total_s for r in group]
+        rows.append(
+            {
+                "method": key[0],
+                "dataset": key[1],
+                "params": key[2][:8],
+                "runs": len(group),
+                "latest_s": round(totals[-1], 4),
+                "median_s": round(sorted(totals)[len(totals) // 2], 4),
+                "trend": sparkline(totals),
+            }
+        )
+    return rows
+
+
+def metrics_diff(a: RunRecord, b: RunRecord) -> List[Dict[str, object]]:
+    """Counter/gauge deltas between two runs (``b`` relative to ``a``)."""
+    rows: List[Dict[str, object]] = []
+    counters_a = dict(a.metrics.get("counters", {}))
+    counters_b = dict(b.metrics.get("counters", {}))
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va, vb = counters_a.get(name), counters_b.get(name)
+        rows.append(
+            {
+                "metric": name,
+                "kind": "counter",
+                "a": va,
+                "b": vb,
+                "delta": None if va is None or vb is None else vb - va,
+            }
+        )
+    gauges_a = dict(a.metrics.get("gauges", {}))
+    gauges_b = dict(b.metrics.get("gauges", {}))
+    for name in sorted(set(gauges_a) | set(gauges_b)):
+        va = (gauges_a.get(name) or {}).get("value")
+        vb = (gauges_b.get(name) or {}).get("value")
+        rows.append(
+            {
+                "metric": name,
+                "kind": "gauge",
+                "a": va,
+                "b": vb,
+                "delta": None if va is None or vb is None else vb - va,
+            }
+        )
+    for name in sorted(set(a.stages) | set(b.stages)):
+        va, vb = a.stages.get(name), b.stages.get(name)
+        rows.append(
+            {
+                "metric": name,
+                "kind": "stage_s",
+                "a": None if va is None else round(float(va), 4),
+                "b": None if vb is None else round(float(vb), 4),
+                "delta": None
+                if va is None or vb is None
+                else round(float(vb) - float(va), 4),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Flamegraph (icicle) layout from a Chrome trace-event export
+# ---------------------------------------------------------------------------
+
+
+def flame_boxes(trace: Mapping[str, object]) -> List[Dict[str, object]]:
+    """Layout boxes for an icicle view of a Chrome trace.
+
+    Each ``"X"`` (complete) event becomes one box with ``left``/``width``
+    as percentages of the trace extent and ``depth`` from nesting (computed
+    per thread by interval containment on the sorted event stream).
+    """
+    events = [
+        e
+        for e in trace.get("traceEvents", [])
+        if e.get("ph") == "X" and e.get("dur", 0) >= 0
+    ]
+    if not events:
+        return []
+    t0 = min(float(e["ts"]) for e in events)
+    t1 = max(float(e["ts"]) + float(e["dur"]) for e in events)
+    extent = max(t1 - t0, 1e-9)
+    boxes: List[Dict[str, object]] = []
+    by_tid: Dict[object, List[dict]] = {}
+    for event in events:
+        by_tid.setdefault(event.get("tid"), []).append(event)
+    for tid, tid_events in sorted(by_tid.items(), key=lambda kv: str(kv[0])):
+        tid_events.sort(key=lambda e: (float(e["ts"]), -float(e["dur"])))
+        stack: List[Tuple[float, float]] = []  # (start, end) per open level
+        for event in tid_events:
+            start = float(event["ts"])
+            end = start + float(event["dur"])
+            while stack and start >= stack[-1][1] - 1e-9:
+                stack.pop()
+            depth = len(stack)
+            stack.append((start, end))
+            boxes.append(
+                {
+                    "name": str(event.get("name", "?")),
+                    "tid": tid,
+                    "depth": depth,
+                    "left": 100.0 * (start - t0) / extent,
+                    "width": max(100.0 * (end - start) / extent, 0.05),
+                    "dur_ms": (end - start) / 1000.0,
+                }
+            )
+    return boxes
+
+
+# ---------------------------------------------------------------------------
+# Self-contained static HTML
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.45 -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 960px; color: #1a1a2e; padding: 0 1em; }
+h1, h2 { font-weight: 600; }
+table { border-collapse: collapse; margin: 0.75em 0; }
+th, td { border: 1px solid #d8d8e0; padding: 0.25em 0.6em; text-align: right; }
+th { background: #f0f0f6; }
+td.l, th.l { text-align: left; }
+.meta { color: #55556b; font-size: 12px; }
+.spark { stroke: #3b6bd6; stroke-width: 1.5; fill: none; }
+.sparkarea { fill: #3b6bd622; stroke: none; }
+.flame { position: relative; background: #fafafc; border: 1px solid #d8d8e0;
+         margin: 0.5em 0; overflow: hidden; }
+.flame div { position: absolute; height: 16px; font-size: 10px;
+             overflow: hidden; white-space: nowrap; color: #222;
+             border-radius: 2px; padding-left: 2px; box-sizing: border-box; }
+.warn { color: #9a4d00; }
+"""
+
+_PALETTE = (
+    "#a8c8f0", "#f0c8a8", "#b8e0b8", "#e0b8d8", "#d8d8a0",
+    "#a0d8d8", "#e0c0c0", "#c0c0e8",
+)
+
+
+def _esc(text: object) -> str:
+    return html_mod.escape(str(text))
+
+
+def _html_table(rows: Sequence[Mapping[str, object]]) -> str:
+    if not rows:
+        return "<p class=meta>(no rows)</p>"
+    columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if value is None:
+            return "NA"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return _esc(value)
+
+    head = "".join(f"<th class=l>{_esc(c)}</th>" for c in columns)
+    body = "".join(
+        "<tr>"
+        + "".join(
+            f"<td{' class=l' if isinstance(r.get(c), str) else ''}>{fmt(r.get(c))}</td>"
+            for c in columns
+        )
+        + "</tr>"
+        for r in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _svg_sparkline(values: Sequence[float], width: int = 240, height: int = 36) -> str:
+    """Inline SVG line chart of ``values`` (self-contained, no assets)."""
+    finite = [float(v) for v in values if v is not None]
+    if len(finite) < 2:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    pad = 2
+    step = (width - 2 * pad) / (len(finite) - 1)
+    points = [
+        (
+            pad + i * step,
+            height - pad - (v - lo) / span * (height - 2 * pad),
+        )
+        for i, v in enumerate(finite)
+    ]
+    line = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    area = (
+        f"{points[0][0]:.1f},{height - pad} "
+        + line
+        + f" {points[-1][0]:.1f},{height - pad}"
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polygon class=sparkarea points="{area}"/>'
+        f'<polyline class=spark points="{line}"/></svg>'
+    )
+
+
+def _flame_html(trace: Mapping[str, object]) -> str:
+    boxes = flame_boxes(trace)
+    if not boxes:
+        return "<p class=meta>(trace has no complete events)</p>"
+    max_depth = max(int(b["depth"]) for b in boxes)
+    height = (max_depth + 1) * 18 + 4
+    divs = []
+    for box in boxes:
+        color = _PALETTE[hash(box["name"]) % len(_PALETTE)]
+        title = f"{box['name']} — {box['dur_ms']:.3f} ms"
+        divs.append(
+            f'<div style="left:{box["left"]:.3f}%;width:{box["width"]:.3f}%;'
+            f'top:{int(box["depth"]) * 18 + 2}px;background:{color}" '
+            f'title="{_esc(title)}">{_esc(box["name"])}</div>'
+        )
+    return f'<div class=flame style="height:{height}px">{"".join(divs)}</div>'
+
+
+def render_html(
+    records: Sequence[RunRecord],
+    *,
+    trace: Optional[Mapping[str, object]] = None,
+    diff: Optional[Tuple[RunRecord, RunRecord]] = None,
+    title: str = "repro run ledger",
+    last: int = 5,
+) -> str:
+    """The full self-contained HTML report."""
+    parts: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class=meta>{len(records)} runs in ledger — generated "
+        f"{time.strftime('%Y-%m-%d %H:%M:%S UTC', time.gmtime())}</p>",
+    ]
+    if not records:
+        parts.append("<p class=warn>The ledger is empty.</p>")
+    else:
+        env = records[-1].env
+        parts.append(
+            "<p class=meta>latest environment: "
+            + _esc(
+                ", ".join(
+                    f"{k}={env.get(k)}"
+                    for k in ("cpu_model", "cpu_count", "numpy", "scipy", "blas")
+                    if env.get(k) is not None
+                )
+            )
+            + "</p>"
+        )
+
+        parts.append("<h2>Trajectories</h2>")
+        groups = group_records(records)
+        for key in sorted(groups):
+            group = groups[key]
+            totals = [r.total_s for r in group]
+            parts.append(
+                f"<h3>{_esc(key[0])} × {_esc(key[1])} "
+                f"<span class=meta>[params {_esc(key[2][:8])}, "
+                f"{len(group)} runs]</span></h3>"
+            )
+            parts.append(_svg_sparkline(totals) or "")
+            stage_names = list(group[-1].stages)
+            recent = group[-last:]
+            rows = []
+            for record in recent:
+                row: Dict[str, object] = {
+                    "run": record.run_id[:8],
+                    "when": _stamp(record),
+                    "git": (record.git_sha or "")[:8],
+                }
+                for name in stage_names:
+                    value = record.stages.get(name)
+                    row[f"{name}_s"] = (
+                        None if value is None else round(float(value), 4)
+                    )
+                row["total_s"] = round(record.total_s, 4)
+                if record.peak_rss_bytes:
+                    row["peak_MiB"] = round(record.peak_rss_bytes / (1 << 20), 1)
+                rows.append(row)
+            parts.append(_html_table(rows))
+
+        parts.append("<h2>Latest run — stage breakdown (Table 5)</h2>")
+        latest = records[-1]
+        stage_rows = [
+            {"stage": name, "seconds": round(float(secs), 4)}
+            for name, secs in latest.stages.items()
+        ]
+        stage_rows.append({"stage": "total", "seconds": round(latest.total_s, 4)})
+        parts.append(
+            f"<p class=meta>run {_esc(latest.run_id)} — {_esc(latest.method)} × "
+            f"{_esc(latest.dataset)}, {_stamp(latest)}</p>"
+        )
+        parts.append(_html_table(stage_rows))
+
+    if diff is not None:
+        a, b = diff
+        parts.append(
+            f"<h2>Metrics diff</h2><p class=meta>{_esc(a.run_id)} → "
+            f"{_esc(b.run_id)}</p>"
+        )
+        parts.append(_html_table(metrics_diff(a, b)))
+
+    if trace is not None:
+        parts.append("<h2>Flamegraph (from Chrome-trace export)</h2>")
+        parts.append(_flame_html(trace))
+
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_html(path: str, html: str) -> None:
+    """Persist the report crash-safely (temp file + rename)."""
+    atomic_write_text(path, html)
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.telemetry.report
+# ---------------------------------------------------------------------------
+
+
+def _find_run(records: Sequence[RunRecord], run_id: str) -> RunRecord:
+    matches = [r for r in records if r.run_id.startswith(run_id)]
+    if not matches:
+        raise SystemExit(f"no run with id {run_id!r} in the ledger")
+    return matches[-1]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Render the ledger to the terminal and optionally to static HTML."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Perf-trajectory report over the run ledger",
+    )
+    parser.add_argument(
+        "--ledger", default=RunLedger().path, help="runs.jsonl path"
+    )
+    parser.add_argument("--method", help="filter: method name")
+    parser.add_argument("--dataset", help="filter: dataset name")
+    parser.add_argument(
+        "--last", type=int, default=5, help="recent runs per group in tables"
+    )
+    parser.add_argument(
+        "--diff", nargs=2, metavar=("RUN_A", "RUN_B"),
+        help="metrics diff between two run ids (prefixes accepted)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="Chrome trace-event JSON for the flamegraph section",
+    )
+    parser.add_argument(
+        "--html", metavar="PATH", help="also write a self-contained HTML report"
+    )
+    args = parser.parse_args(argv)
+
+    records = RunLedger(args.ledger).records()
+    if args.method:
+        records = [r for r in records if r.method == args.method]
+    if args.dataset:
+        records = [r for r in records if r.dataset == args.dataset]
+
+    if not records:
+        print(f"ledger {args.ledger}: no matching runs")
+    else:
+        print(f"ledger {args.ledger}: {len(records)} runs")
+        print()
+        print("=== trajectories ===")
+        print(format_rows(trajectory_rows(records)))
+        print()
+        print("=== latest run ===")
+        print(format_run(records[-1]))
+
+    diff_pair: Optional[Tuple[RunRecord, RunRecord]] = None
+    if args.diff:
+        diff_pair = (
+            _find_run(records, args.diff[0]),
+            _find_run(records, args.diff[1]),
+        )
+        print()
+        print(f"=== metrics diff {args.diff[0]} -> {args.diff[1]} ===")
+        print(format_rows(metrics_diff(*diff_pair)))
+
+    trace_data: Optional[Mapping[str, object]] = None
+    if args.trace:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            trace_data = json.load(fh)
+
+    if args.html:
+        html = render_html(
+            records, trace=trace_data, diff=diff_pair, last=args.last
+        )
+        write_html(args.html, html)
+        print(f"\nhtml report -> {args.html}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -302,9 +302,15 @@ class Tracer:
         }
 
     def write_chrome_trace(self, path: Union[str, "os.PathLike"]) -> None:
-        """Serialize :meth:`to_chrome_trace` to ``path`` as JSON."""
-        with open(path, "w", encoding="utf-8") as out:
-            json.dump(self.to_chrome_trace(), out)
+        """Serialize :meth:`to_chrome_trace` to ``path`` as JSON.
+
+        Crash-safe: parents are created and the JSON is staged in a temp
+        file then renamed over ``path`` (no truncated traces from killed
+        runs).
+        """
+        from repro.utils.fileio import atomic_write_json
+
+        atomic_write_json(path, self.to_chrome_trace())
 
     def iter_events(self) -> Iterator[dict]:
         """Flat per-span event records (the JSONL stream), finished spans only."""
@@ -325,23 +331,29 @@ class Tracer:
             }
 
     def write_jsonl(self, path_or_file: Union[str, "os.PathLike", TextIO]) -> int:
-        """Write the JSONL event stream; returns the number of lines."""
-        own = not hasattr(path_or_file, "write")
-        out = (
-            open(path_or_file, "w", encoding="utf-8")  # type: ignore[arg-type]
-            if own
-            else path_or_file
-        )
-        count = 0
-        try:
+        """Write the JSONL event stream; returns the number of lines.
+
+        When given a path the stream is staged in a temp file and renamed
+        into place (crash-safe, parents created); file objects are written
+        through directly.
+        """
+
+        def emit(out: TextIO) -> int:
+            count = 0
             for event in self.iter_events():
                 out.write(json.dumps(event))
                 out.write("\n")
                 count += 1
-        finally:
-            if own:
-                out.close()  # type: ignore[union-attr]
-        return count
+            return count
+
+        if hasattr(path_or_file, "write"):
+            return emit(path_or_file)  # type: ignore[arg-type]
+
+        from repro.utils.fileio import atomic_write_with
+
+        counts: List[int] = []
+        atomic_write_with(path_or_file, lambda out: counts.append(emit(out)))
+        return counts[0]
 
 
 # --------------------------------------------------------------------------

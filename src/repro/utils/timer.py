@@ -146,6 +146,26 @@ class StageTimer:
         """Stage names in first-appearance order."""
         return list(self.stages)
 
+    def ordered_stages(self, order: Iterable[str] = ()) -> Dict[str, float]:
+        """Accumulated seconds per stage in a **stable, declared order**.
+
+        Stages named in ``order`` (a method's registry ``stages`` tuple —
+        the Table-5 column order) come first, in that order; stages the run
+        recorded beyond the declared set follow in first-appearance order.
+        Ledger records and reports use this instead of :attr:`stages` so
+        cross-run diffs line up column-for-column even when execution order
+        differs (e.g. a skipped or re-entered stage).
+        """
+        stages = self.stages
+        out: Dict[str, float] = {}
+        for name in order:
+            if name in stages:
+                out[name] = stages[name]
+        for name, seconds in stages.items():
+            if name not in out:
+                out[name] = seconds
+        return out
+
     def counter_rows(self) -> List[tuple]:
         """All counters as ``(stage, counter, value)`` rows, stage order first."""
         order = self._order

@@ -1,0 +1,209 @@
+"""Tests for the perf-trajectory report generator (terminal + HTML)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.ledger import RunLedger, RunRecord
+from repro.telemetry.report import (
+    flame_boxes,
+    format_rows,
+    format_run,
+    main,
+    metrics_diff,
+    render_html,
+    sparkline,
+    trajectory_rows,
+)
+
+
+def make_record(total=1.0, stages=None, metrics=None, quality=None, **kw):
+    stages = dict(stages or {"sparsifier": 0.4, "svd": 0.6})
+    defaults = dict(
+        method="lightne",
+        dataset="ds",
+        params={"dimension": 8},
+        stages=stages,
+        total_s=total,
+        env={"cpu_model": "cpu-a", "cpu_count": 4, "numpy": "2.0"},
+        metrics=dict(metrics or {}),
+        quality=dict(quality or {}),
+    )
+    defaults.update(kw)
+    return RunRecord(**defaults)
+
+
+class TestTextBuildingBlocks:
+    def test_sparkline_shape(self):
+        line = sparkline([1.0, 2.0, 3.0, 2.0])
+        assert len(line) == 4
+        assert line[0] != line[2]
+
+    def test_sparkline_flat_and_empty(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"
+        assert sparkline([]) == ""
+
+    def test_format_rows_alignment(self):
+        text = format_rows([{"a": 1, "b": None}, {"a": 22, "b": 0.5}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "NA" in lines[2]
+
+    def test_format_run_contains_stages_and_quality(self):
+        record = make_record(quality={"micro@0.1": 30.1})
+        text = format_run(record)
+        assert "sparsifier" in text
+        assert "total" in text
+        assert "micro@0.1" in text
+
+    def test_trajectory_rows_grouping(self):
+        records = [make_record(total=t) for t in (1.0, 1.2, 0.9)]
+        records.append(make_record(method="netsmf", total=2.0))
+        rows = trajectory_rows(records)
+        assert len(rows) == 2
+        lightne = [r for r in rows if r["method"] == "lightne"][0]
+        assert lightne["runs"] == 3
+        assert len(lightne["trend"]) == 3
+
+
+class TestMetricsDiff:
+    def test_counter_gauge_and_stage_rows(self):
+        a = make_record(
+            metrics={
+                "counters": {"spmm.calls": 10},
+                "gauges": {"load": {"value": 0.5, "max": 0.6}},
+            }
+        )
+        b = make_record(
+            metrics={
+                "counters": {"spmm.calls": 14},
+                "gauges": {"load": {"value": 0.7, "max": 0.7}},
+            },
+            stages={"sparsifier": 0.5, "svd": 0.6},
+        )
+        rows = metrics_diff(a, b)
+        by_metric = {(r["metric"], r["kind"]): r for r in rows}
+        assert by_metric[("spmm.calls", "counter")]["delta"] == 4
+        assert by_metric[("load", "gauge")]["delta"] == 0.19999999999999996
+        assert by_metric[("sparsifier", "stage_s")]["delta"] == 0.1
+
+
+class TestFlameBoxes:
+    def _trace(self):
+        return {
+            "traceEvents": [
+                {"name": "root", "ph": "X", "ts": 0.0, "dur": 100.0, "tid": 1},
+                {"name": "child", "ph": "X", "ts": 10.0, "dur": 40.0, "tid": 1},
+                {"name": "leaf", "ph": "X", "ts": 15.0, "dur": 10.0, "tid": 1},
+                {"name": "sibling", "ph": "X", "ts": 60.0, "dur": 30.0, "tid": 1},
+                {"name": "meta", "ph": "M", "tid": 1},
+            ]
+        }
+
+    def test_nesting_depths(self):
+        boxes = {b["name"]: b for b in flame_boxes(self._trace())}
+        assert boxes["root"]["depth"] == 0
+        assert boxes["child"]["depth"] == 1
+        assert boxes["leaf"]["depth"] == 2
+        assert boxes["sibling"]["depth"] == 1
+
+    def test_widths_are_proportional(self):
+        boxes = {b["name"]: b for b in flame_boxes(self._trace())}
+        assert boxes["root"]["width"] == 100.0
+        assert abs(boxes["child"]["width"] - 40.0) < 1e-6
+
+    def test_empty_trace(self):
+        assert flame_boxes({"traceEvents": []}) == []
+
+
+class TestHTML:
+    def test_self_contained_no_network_assets(self):
+        html = render_html([make_record(total=t) for t in (1.0, 1.1, 0.9)])
+        lowered = html.lower()
+        assert "http://" not in lowered
+        assert "https://" not in lowered
+        assert "<script src" not in lowered
+        assert 'link rel="stylesheet"' not in lowered
+
+    def test_contains_stage_breakdown_and_sparkline(self):
+        html = render_html([make_record(total=t) for t in (1.0, 1.1, 0.9)])
+        assert "sparsifier" in html
+        assert "<svg" in html          # trajectory sparkline
+        assert "Table 5" in html
+
+    def test_empty_ledger(self):
+        html = render_html([])
+        assert "empty" in html
+
+    def test_diff_and_flame_sections(self):
+        a, b = make_record(), make_record(total=1.2)
+        trace = {
+            "traceEvents": [
+                {"name": "lightne", "ph": "X", "ts": 0.0, "dur": 50.0, "tid": 1}
+            ]
+        }
+        html = render_html([a, b], diff=(a, b), trace=trace)
+        assert "Metrics diff" in html
+        assert "Flamegraph" in html
+        assert "lightne" in html
+
+
+class TestReportCLI:
+    def _ledger(self, tmp_path, records):
+        path = tmp_path / "runs.jsonl"
+        book = RunLedger(path)
+        for record in records:
+            book.append(record)
+        return path
+
+    def test_terminal_and_html_output(self, tmp_path, capsys):
+        path = self._ledger(
+            tmp_path, [make_record(total=t) for t in (1.0, 1.3, 1.1)]
+        )
+        out_html = tmp_path / "report.html"
+        code = main(["--ledger", str(path), "--html", str(out_html)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trajectories" in out
+        assert "latest run" in out
+        assert out_html.exists()
+        assert "<svg" in out_html.read_text()
+
+    def test_diff_by_run_id_prefix(self, tmp_path, capsys):
+        a = make_record(metrics={"counters": {"c": 1}, "gauges": {}})
+        b = make_record(metrics={"counters": {"c": 3}, "gauges": {}})
+        path = self._ledger(tmp_path, [a, b])
+        code = main(
+            ["--ledger", str(path), "--diff", a.run_id[:6], b.run_id[:6]]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metrics diff" in out
+
+    def test_trace_flag_feeds_flamegraph(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, [make_record()])
+        trace_path = tmp_path / "trace.json"
+        trace_path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {"name": "svd", "ph": "X", "ts": 0.0, "dur": 5.0, "tid": 1}
+                    ]
+                }
+            )
+        )
+        out_html = tmp_path / "r.html"
+        code = main(
+            [
+                "--ledger", str(path),
+                "--trace", str(trace_path),
+                "--html", str(out_html),
+            ]
+        )
+        assert code == 0
+        assert "Flamegraph" in out_html.read_text()
+
+    def test_empty_ledger_message(self, tmp_path, capsys):
+        code = main(["--ledger", str(tmp_path / "none.jsonl")])
+        assert code == 0
+        assert "no matching runs" in capsys.readouterr().out

@@ -192,6 +192,31 @@ class TestExporters:
         span.__enter__()
         assert list(enabled.iter_events()) == []
 
+    def test_exporters_create_parent_dirs(self, enabled, tmp_path):
+        """Crash-safe writes: missing result directories are created."""
+        with telemetry.span("only"):
+            pass
+        trace = tmp_path / "results" / "deep" / "trace.json"
+        events = tmp_path / "other" / "spans.jsonl"
+        enabled.write_chrome_trace(trace)
+        count = enabled.write_jsonl(events)
+        assert trace.exists()
+        assert count == 1
+        assert json.loads(events.read_text().splitlines()[0])["name"] == "only"
+
+    def test_chrome_trace_replace_is_atomic(self, enabled, tmp_path):
+        """An existing trace file is replaced wholesale, never truncated."""
+        path = tmp_path / "trace.json"
+        path.write_text("{\"stale\": true}")
+        with telemetry.span("fresh"):
+            pass
+        enabled.write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert "stale" not in doc
+        assert any(e["name"] == "fresh" for e in doc["traceEvents"])
+        # No temp-file litter left beside the destination.
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.json"]
+
 
 # ---------------------------------------------------------------------------
 # Metrics
@@ -256,6 +281,13 @@ class TestInstruments:
         path = tmp_path / "metrics.json"
         registry.write_json(path)
         assert json.loads(path.read_text())["counters"]["n"] == 1
+
+    def test_write_json_creates_parents(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        path = tmp_path / "results" / "run" / "metrics.json"
+        registry.write_json(path)
+        assert json.loads(path.read_text())["counters"]["n"] == 2
 
     def test_reset_metrics_clears_global(self, enabled):
         telemetry.counter("will-vanish").inc()

@@ -470,3 +470,47 @@ class TestConfigureLogging:
         configure_logging("DEBUG", stream=buf)
         get_logger("repro.test_stream").debug("hello from the pipeline")
         assert "hello from the pipeline" in buf.getvalue()
+
+
+class TestFileIO:
+    """Crash-safe write/append primitives (repro.utils.fileio)."""
+
+    def test_atomic_write_creates_parents(self, tmp_path):
+        from repro.utils.fileio import atomic_write_text
+
+        path = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(path, "payload")
+        assert path.read_text() == "payload"
+
+    def test_atomic_write_json_roundtrip(self, tmp_path):
+        import json
+
+        from repro.utils.fileio import atomic_write_json
+
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"k": [1, 2]}, indent=2)
+        assert json.loads(path.read_text()) == {"k": [1, 2]}
+
+    def test_failed_write_preserves_previous_file(self, tmp_path):
+        from repro.utils.fileio import atomic_write_text, atomic_write_with
+
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "original")
+
+        def exploding_writer(out):
+            out.write("partial")
+            raise RuntimeError("killed mid-write")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_with(path, exploding_writer)
+        # The target still holds the previous payload, and no temp litter.
+        assert path.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_append_line_creates_parents_and_adds_newline(self, tmp_path):
+        from repro.utils.fileio import append_line
+
+        path = tmp_path / "deep" / "runs.jsonl"
+        append_line(path, "one")
+        append_line(path, "two\n")
+        assert path.read_text() == "one\ntwo\n"
