@@ -159,3 +159,87 @@ def test_e12_memory_scaling(benchmark, table):
     assert ratios == sorted(ratios), "hash advantage must widen with M"
     dups = [r["dup_factor"] for r in rows]
     assert dups == sorted(dups), "duplication grows with M"
+
+
+# --------------------------------------------------------------------------
+# Ingest peak memory (PR 6 satellite): read_edge_list streams lines through
+# fixed-size preallocated numpy chunks; the naive reader it replaced
+# accumulated Python int objects in growing lists (≈28 bytes per boxed int
+# plus 8 bytes of list slot, vs 8 bytes per int64 slot).  Each reader runs
+# in a fresh interpreter (high-water marks never shrink in-process) over the
+# same ~1.2M-edge file and must build the identical graph.
+
+_INGEST_PROBE = """
+import json
+import numpy as np
+from repro.graph.builders import from_edges
+from repro.graph.io import read_edge_list
+from repro.telemetry.memory import MemorySampler
+path = __PATH__
+with MemorySampler(0.005) as sampler:
+    if __NAIVE__:
+        # The pre-fix reader: boxed-int accumulation, arrays at the end.
+        us, vs = [], []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                parts = line.split()
+                us.append(int(parts[0]))
+                vs.append(int(parts[1]))
+        graph = from_edges(
+            np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64),
+            symmetrize=True,
+        )
+    else:
+        graph = read_edge_list(path)
+p = sampler.profile
+print(json.dumps(dict(anon=p.anon_peak_bytes, rss=p.rss_peak_bytes,
+                      n=graph.num_vertices, m=graph.num_edges,
+                      checksum=int(graph.targets.sum()))))
+"""
+
+
+def test_e12_ingest_peak_memory(table, tmp_path):
+    from benchmarks.harness import run_probe
+
+    rng = np.random.default_rng(SEED)
+    num_edges = 1_200_000
+    u = rng.integers(0, 100_000, size=num_edges)
+    v = rng.integers(0, 100_000, size=num_edges)
+    keep = u != v
+    path = tmp_path / "edges.txt"
+    np.savetxt(path, np.column_stack([u[keep], v[keep]]), fmt="%d")
+
+    def probe(naive):
+        script = (
+            _INGEST_PROBE
+            .replace("__PATH__", repr(str(path)))
+            .replace("__NAIVE__", "True" if naive else "False")
+        )
+        return run_probe(script)
+
+    naive = probe(naive=True)
+    chunked = probe(naive=False)
+
+    table(
+        "E12 — edge-list ingest peak memory, ~1.2M edges (fresh process "
+        "per row): chunked preallocated parsing vs boxed-int lists",
+        [
+            {"reader": name, "anon_peak_MiB": round(r["anon"] / 2**20, 1)
+             if r["anon"] is not None else None,
+             "rss_peak_MiB": round(r["rss"] / 2**20, 1)
+             if r["rss"] is not None else None,
+             "n": r["n"], "m": r["m"]}
+            for name, r in (("naive-lists", naive), ("chunked", chunked))
+        ],
+    )
+
+    # Same file, same graph.
+    assert (naive["n"], naive["m"], naive["checksum"]) == (
+        chunked["n"], chunked["m"], chunked["checksum"]
+    )
+    if naive["anon"] is None or chunked["anon"] is None:
+        pytest.skip("no /proc/self/status on this platform")
+    assert chunked["anon"] < naive["anon"], (
+        f"chunked reader anon peak {chunked['anon']} not below naive "
+        f"{naive['anon']}"
+    )

@@ -159,6 +159,34 @@ def load(name: str):
     return load_dataset(name, seed=SEED)
 
 
+def run_probe(script: str, *, env: Optional[Dict[str, str]] = None) -> Dict:
+    """Run ``script`` in a fresh interpreter and parse its last JSON line.
+
+    Memory benchmarks need fresh processes: RSS / VmData high-water marks
+    never shrink, so comparing two configurations inside one process would
+    let the first run's peak mask the second's.  The child is expected to
+    ``print(json.dumps(...))`` as its final stdout line.
+    """
+    import json
+    import subprocess
+    import sys
+
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    child_env = dict(os.environ)
+    child_env["PYTHONPATH"] = src_dir + os.pathsep + child_env.get("PYTHONPATH", "")
+    if env:
+        child_env.update(env)
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=child_env, timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"probe subprocess failed ({proc.returncode}):\n{proc.stderr[-2000:]}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
 def write_metrics_snapshot(path: str) -> Optional[str]:
     """Dump the telemetry metrics registry as JSON to ``path``.
 

@@ -11,6 +11,10 @@ Subcommands
 ``eval-nc`` / ``eval-lp``
     Run the node-classification / link-prediction protocols on saved
     embeddings.
+``convert``
+    Convert any readable graph into the memmappable CSR v2 container
+    (``*.csrv2``) that the out-of-core ``--backend process`` path loads
+    without materializing the arrays in RAM.
 
 Observability flags (every subcommand, see ``docs/observability.md``):
 ``--verbose`` turns on the library's DEBUG log lines
@@ -59,7 +63,7 @@ _READERS = {
 def _detect_format(path: str) -> str:
     """Pick a reader from the file extension (``--format`` overrides)."""
     lowered = path.lower()
-    if lowered.endswith(".npz"):
+    if lowered.endswith((".npz", graph_io.CSR_V2_SUFFIX)) or graph_io.is_csr_v2(path):
         return "csr"
     if lowered.endswith((".metis", ".graph")):
         return "metis"
@@ -89,7 +93,8 @@ def _load_graph(args: argparse.Namespace):
 # (default=None sentinels) reach make_params, so each method keeps its own
 # dataclass defaults for everything else.
 _KNOB_ARGS = (
-    "window", "multiplier", "propagate", "downsample", "workers", "precision"
+    "window", "multiplier", "propagate", "downsample", "workers", "backend",
+    "precision",
 )
 
 
@@ -201,6 +206,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Convert any readable graph into the memmappable CSR v2 container."""
+    graph, _ = _load_graph(args)
+    path = graph_io.save_csr_v2(graph, args.output)
+    print(
+        f"csr-v2 n={graph.num_vertices} m={graph.num_edges} "
+        f"weighted={graph.weights is not None} -> {path}"
+    )
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     """Method comparison table via the experiments runner."""
     from repro.experiments import format_table, run_method_comparison
@@ -229,7 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--input", help="graph file (edge list / METIS / .adj / .npz)")
+        p.add_argument(
+            "--input",
+            help="graph file (edge list / METIS / .adj / .npz / .csrv2 dir)",
+        )
         p.add_argument(
             "--format", choices=sorted(_READERS),
             help="input format (default: by file extension)",
@@ -243,6 +262,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="thread-pool width for sparsifier construction and the "
                  "dense linear-algebra kernels (default: one per core, "
                  "capped at 8); output is bit-identical for every value",
+        )
+        p.add_argument(
+            "--backend", choices=("thread", "process"), default=None,
+            help="execution substrate for the parallel stages: 'thread' "
+                 "(default, in-memory) or 'process' (out-of-core: process "
+                 "pools for sampling/aggregation, temp-file memmaps for the "
+                 "propagation buffers); output is bit-identical either way "
+                 "(see docs/performance.md)",
         )
         p.add_argument(
             "--verbose", "-v", action="store_true",
@@ -366,6 +393,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--refresh-fraction", type=float, default=0.05)
     p_stream.add_argument("--output", default="stream_embedding.npy")
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_conv = sub.add_parser(
+        "convert",
+        help="convert a graph to the memmappable CSR v2 container "
+             "(required for out-of-core --backend process loads)",
+    )
+    add_common(p_conv)
+    p_conv.add_argument(
+        "--output", default="graph" + graph_io.CSR_V2_SUFFIX,
+        help="output directory (conventionally *.csrv2)",
+    )
+    p_conv.set_defaults(func=_cmd_convert)
 
     p_cmp = sub.add_parser(
         "compare", help="side-by-side method comparison on a labeled dataset"

@@ -18,6 +18,7 @@ propagation — pass ``propagate=False``.
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, replace
 from typing import Optional, Union
 
@@ -77,6 +78,15 @@ class LightNEParams:
         resolves to :func:`repro.utils.parallel.default_workers`.  Both the
         sparsifier and the dense kernels are bit-identical for every worker
         count given the same ``seed`` and ``batch_size``.
+    backend:
+        Execution substrate: ``"thread"`` (default, all in-RAM) or
+        ``"process"`` — the out-of-core mode.  With ``"process"``, sampling
+        slabs run in worker processes (reopening a memmapped CSR v2 graph
+        when the input was loaded that way), sharded aggregation goes
+        through ``multiprocessing.shared_memory``, and the propagation
+        stage's ``n×d`` buffers spill to temp-file memmaps streamed through
+        the chunked SPMM.  Embeddings are bit-identical to the thread
+        backend at every worker count.
     precision:
         Dense-kernel dtype policy (``"double"``/``"single"``), mirroring the
         paper's single-precision MKL routines: ``"single"`` keeps the whole
@@ -99,6 +109,7 @@ class LightNEParams:
     theta: float = 0.5
     aggregator: str = "hash"
     workers: Optional[int] = None
+    backend: str = "thread"
     precision: str = "double"
     batch_size: int = 2_000_000
 
@@ -148,7 +159,8 @@ def _lightne_body(ctx: PipelineContext):
     ctx.span.set_attribute("aggregator", params.aggregator)
     sparsifier = build_netmf_sparsifier(
         graph, config, ctx.rng, aggregator=params.aggregator, timer=ctx.timer,
-        workers=params.workers, batch_size=params.batch_size,
+        workers=params.workers, backend=params.backend,
+        batch_size=params.batch_size,
     )
     logger.debug(
         "lightne: sparsifier nnz=%d from %d draws (%.1f%% of draws kept "
@@ -166,6 +178,12 @@ def _lightne_body(ctx: PipelineContext):
         vectors = embedding_from_svd(u, sigma)
     if params.propagate:
         with ctx.timer.stage("propagation", order=params.propagation_order):
+            # Out-of-core mode spills the filter's ping-pong buffers to
+            # unlinked temp-file memmaps (bit-transparent; see
+            # chebyshev_gaussian_filter).
+            offload_dir = (
+                tempfile.gettempdir() if params.backend == "process" else None
+            )
             vectors = spectral_propagation(
                 graph,
                 vectors,
@@ -174,6 +192,7 @@ def _lightne_body(ctx: PipelineContext):
                 theta=params.theta,
                 precision=params.precision,
                 workers=params.workers,
+                offload_dir=offload_dir,
             )
     ctx.span.set_attribute("sparsifier_nnz", sparsifier.nnz)
     ctx.info.update(
@@ -185,6 +204,7 @@ def _lightne_body(ctx: PipelineContext):
             "downsample": params.downsample,
             "propagated": params.propagate,
             "precision": params.precision,
+            "backend": params.backend,
             "workers": int(sparsifier.stats.get("workers", 1)),
             "sparsifier_batches": int(sparsifier.stats.get("batches", 0)),
             "samples_per_sec": float(sparsifier.stats.get("samples_per_sec", 0.0)),

@@ -44,7 +44,9 @@ class NetMFParams:
     separate methods (``netmf`` / ``netmf-eigen``) differing only in the
     ``strategy`` default.  ``workers`` / ``precision`` control the SVD's
     kernel layer (:mod:`repro.linalg.kernels`); ``precision="single"``
-    halves the dense matrix's footprint during factorization.
+    halves the dense matrix's footprint during factorization.  ``backend``
+    is accepted for CLI uniformity (dense NetMF has no out-of-core stage —
+    the substrate knob is a no-op here).
     """
 
     dimension: int = 128
@@ -53,6 +55,7 @@ class NetMFParams:
     strategy: str = "exact"
     eigen_rank: int = 256
     workers: Optional[int] = None
+    backend: str = "thread"
     precision: str = "double"
 
 

@@ -51,6 +51,11 @@ class NetSMFParams:
     workers:
         Thread-pool width for sampling and the SVD's SPMMs
         (``None`` = ``default_workers()``); bit-identical at every width.
+    backend:
+        ``"thread"`` (default) or ``"process"`` (out-of-core sampling /
+        aggregation substrate — see
+        :func:`repro.sparsifier.builder.build_netmf_sparsifier`);
+        bit-identical either way.
     precision:
         Dense-kernel dtype policy (``"double"``/``"single"``); see
         :mod:`repro.linalg.kernels`.
@@ -62,6 +67,7 @@ class NetSMFParams:
     negative_samples: float = 1.0
     aggregator: str = "sort"
     workers: Optional[int] = None
+    backend: str = "thread"
     precision: str = "double"
 
 
@@ -76,7 +82,7 @@ def _netsmf_body(ctx: PipelineContext):
     )
     result = build_netmf_sparsifier(
         graph, config, ctx.rng, aggregator=params.aggregator, timer=ctx.timer,
-        workers=params.workers,
+        workers=params.workers, backend=params.backend,
     )
     with ctx.timer.stage("svd"):
         matrix = sparsifier_to_netmf_matrix(

@@ -47,13 +47,15 @@ class NRPParams:
 
     ``workers`` / ``precision`` thread the Horner SPMVs and the SVD through
     :mod:`repro.linalg.kernels` (``"single"`` keeps the implicit operator's
-    walk matrix and work buffers in float32).
+    walk matrix and work buffers in float32).  ``backend`` is accepted for
+    CLI uniformity (NRP's implicit operator has no out-of-core stage).
     """
 
     dimension: int = 128
     alpha: float = 0.15
     order: int = 10
     workers: Optional[int] = None
+    backend: str = "thread"
     precision: str = "double"
 
 

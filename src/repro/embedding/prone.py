@@ -16,6 +16,7 @@ so the class doubles as ProNE+ with stage timing for Table 5.
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, replace
 from typing import Optional, Union
 
@@ -47,6 +48,8 @@ class ProNEParams:
     (bit-identical at every width) and ``precision`` selects the
     ``"double"``/``"single"`` dtype policy of
     :mod:`repro.linalg.kernels` for factorization and propagation.
+    ``backend="process"`` spills the propagation buffers to temp-file
+    memmaps streamed through the chunked SPMM (bit-identical output).
     """
 
     dimension: int = 128
@@ -57,6 +60,7 @@ class ProNEParams:
     mu: float = 0.2
     theta: float = 0.5
     workers: Optional[int] = None
+    backend: str = "thread"
     precision: str = "double"
 
 
@@ -117,12 +121,18 @@ def _prone_body(ctx: PipelineContext):
                 theta=params.theta,
                 precision=params.precision,
                 workers=params.workers,
+                offload_dir=(
+                    tempfile.gettempdir()
+                    if getattr(params, "backend", "thread") == "process"
+                    else None
+                ),
             )
     ctx.info.update(
         {
             "alpha": params.alpha,
             "propagated": params.propagate,
             "precision": params.precision,
+            "backend": getattr(params, "backend", "thread"),
         }
     )
     return vectors

@@ -44,6 +44,9 @@ from repro.utils.rng import SeedLike
 _KNOB_CAPABILITY: Dict[str, str] = {
     "window": "supports_window",
     "workers": "supports_workers",
+    # The execution substrate rides the workers capability: every method
+    # that accepts a pool width also accepts the thread/process choice.
+    "backend": "supports_workers",
     "multiplier": "supports_multiplier",
     "sample_multiplier": "supports_multiplier",
     "propagate": "supports_propagate",

@@ -43,7 +43,10 @@ class CSRGraph:
         here for cost reasons — builders enforce it).
     """
 
-    __slots__ = ("offsets", "targets", "weights", "_degrees", "_volume", "_op_cache")
+    __slots__ = (
+        "offsets", "targets", "weights", "_degrees", "_volume", "_op_cache",
+        "mmap_source",
+    )
 
     def __init__(
         self,
@@ -69,6 +72,11 @@ class CSRGraph:
         # Derived-operator memo (e.g. the propagation operator keyed by
         # dtype); lazily populated by repro.linalg, never part of equality.
         self._op_cache: Optional[dict] = None
+        # Path of the on-disk CSR v2 container the arrays are memmapped
+        # from, when loaded via repro.graph.io.load_csr(mmap=True).  Lets
+        # process-pool workers reopen the graph from disk instead of
+        # receiving a pickled copy; never part of equality.
+        self.mmap_source: Optional[str] = None
 
     @staticmethod
     def _validate(

@@ -264,6 +264,145 @@ def spmm(
     return out[:, 0] if squeeze else out
 
 
+# Default bound on the resident workspace of :func:`spmm_chunked` (64 MiB —
+# small enough to coexist with memmapped operands, large enough that block
+# dispatch overhead is negligible).
+SPMM_WORKSPACE_BYTES = 64 * 1024 * 1024
+
+
+def spmm_chunked(
+    matrix,
+    dense: np.ndarray,
+    *,
+    out: Optional[np.ndarray] = None,
+    workspace_bytes: int = SPMM_WORKSPACE_BYTES,
+    block_rows: Optional[int] = None,
+    workers: Optional[int] = 1,
+) -> np.ndarray:
+    """Row-block streaming ``matrix @ dense`` through a bounded workspace.
+
+    The out-of-core SPMM: ``dense`` and ``out`` may be ``numpy.memmap``
+    arrays (and the CSR arrays themselves may be disk-backed).  Output rows
+    are produced in contiguous blocks sized so one block of the result fits
+    in ``workspace_bytes`` of resident memory; each block is computed by
+    :func:`spmm` (threaded, bit-identical per row) into the reused in-RAM
+    workspace and then written to ``out`` in one sequential assignment, so
+    dirty pages hit a memmapped ``out`` in stream order.
+
+    Because a row block's entries are accumulated by exactly the same
+    compiled loop as the full product, the result is **bit-identical** to
+    ``spmm(matrix, dense)`` for every ``block_rows``/``workers``
+    combination.
+
+    Parameters
+    ----------
+    workspace_bytes:
+        Resident-workspace bound used to derive the block height (default
+        :data:`SPMM_WORKSPACE_BYTES`).
+    block_rows:
+        Explicit block height; overrides ``workspace_bytes`` when given.
+    """
+    workers = _resolve_workers(workers)
+    dense = np.asarray(dense)
+    squeeze = False
+    if dense.ndim == 1:
+        dense = dense.reshape(-1, 1)
+        squeeze = True
+    if dense.ndim != 2:
+        raise FactorizationError(f"dense block must be 1-D or 2-D, got {dense.ndim}-D")
+    if not sp.issparse(matrix):
+        raise FactorizationError("spmm_chunked expects a sparse matrix operand")
+    if matrix.shape[1] != dense.shape[0]:
+        raise FactorizationError(f"shape mismatch: {matrix.shape} @ {dense.shape}")
+    if getattr(matrix, "format", None) != "csr":
+        matrix = matrix.tocsr()
+    result_dtype = np.result_type(matrix.dtype, dense.dtype)
+    rows, cols = matrix.shape[0], dense.shape[1]
+    if out is None:
+        out = np.empty((rows, cols), dtype=result_dtype)
+    else:
+        if out.shape != (rows, cols):
+            raise FactorizationError(
+                f"out has shape {out.shape}, expected {(rows, cols)}"
+            )
+        if out.dtype != result_dtype:
+            raise FactorizationError(
+                f"out has dtype {out.dtype}, expected {result_dtype}"
+            )
+    if block_rows is None:
+        if workspace_bytes < 1:
+            raise FactorizationError(
+                f"workspace_bytes must be >= 1, got {workspace_bytes}"
+            )
+        row_bytes = max(1, cols * result_dtype.itemsize)
+        block_rows = max(1, workspace_bytes // row_bytes)
+    if block_rows < 1:
+        raise FactorizationError(f"block_rows must be >= 1, got {block_rows}")
+    block_rows = min(block_rows, max(rows, 1))
+    if dense.dtype != result_dtype:
+        # One cast up front instead of one per block (spmm would otherwise
+        # re-cast the full dense operand inside every block call).
+        dense = np.ascontiguousarray(dense, dtype=result_dtype)
+    workspace = np.empty((block_rows, cols), dtype=result_dtype)
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    release = _written_page_releaser(out)
+    for r0 in range(0, rows, block_rows):
+        r1 = min(rows, r0 + block_rows)
+        ptr = np.asarray(indptr[r0 : r1 + 1])
+        lo, hi = int(ptr[0]), int(ptr[-1])
+        # Zero-copy CSR window over the block's rows.
+        block = sp.csr_matrix(
+            (data[lo:hi], indices[lo:hi], ptr - lo),
+            shape=(r1 - r0, matrix.shape[1]),
+            copy=False,
+        )
+        view = workspace[: r1 - r0]
+        spmm(block, dense, out=view, workers=workers)
+        out[r0:r1] = view
+        if release is not None:
+            release(r1)
+    return out[:, 0] if squeeze else out
+
+
+def _written_page_releaser(out: np.ndarray):
+    """Incremental ``MADV_DONTNEED`` over a memmapped output's written rows.
+
+    Keeps a streaming write to a memmapped ``out`` from accumulating in the
+    resident set: once a row block is written, its fully-covered pages are
+    dropped from the process (the dirty pages live on in the page cache for
+    a *shared* mapping, so the data is unchanged — only residency drops).
+    Returns ``None`` — and the caller skips releasing — unless ``out`` is a
+    shared-mapping ``np.memmap`` starting at file offset 0; mode ``"c"``
+    (``MAP_PRIVATE``) must never be released or dirty pages would be lost.
+    """
+    if not isinstance(out, np.memmap):
+        return None
+    if getattr(out, "mode", None) not in ("r+", "w+"):
+        return None
+    if getattr(out, "offset", 0) != 0 or not out.flags["C_CONTIGUOUS"]:
+        return None
+    raw = getattr(out, "_mmap", None)
+    if raw is None or not hasattr(raw, "madvise"):
+        return None
+    import mmap as mmap_mod
+
+    page = mmap_mod.PAGESIZE
+    row_bytes = out.shape[1] * out.itemsize if out.ndim == 2 else out.itemsize
+    state = {"released": 0}
+
+    def release(upto_row: int) -> None:
+        end = (upto_row * row_bytes) // page * page
+        if end > state["released"]:
+            try:
+                raw.madvise(mmap_mod.MADV_DONTNEED, state["released"],
+                            end - state["released"])
+            except (ValueError, OSError):  # pragma: no cover
+                return
+            state["released"] = end
+
+    return release
+
+
 def gram(
     a: np.ndarray,
     b: Optional[np.ndarray] = None,

@@ -29,6 +29,9 @@ double path is bit-identical to the historical implementation.
 
 from __future__ import annotations
 
+import mmap as _mmap_mod
+import os
+import tempfile
 from typing import Optional
 
 import numpy as np
@@ -39,8 +42,85 @@ from repro import telemetry
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
-from repro.linalg.kernels import gram_rescale, resolve_precision, spmm
+from repro.linalg.kernels import (
+    SPMM_WORKSPACE_BYTES,
+    gram_rescale,
+    resolve_precision,
+    spmm,
+    spmm_chunked,
+)
 from repro.utils.rng import SeedLike
+
+
+def _offload_buffer(shape, dtype, offload_dir: str) -> np.ndarray:
+    """A writable ``n×d`` scratch buffer backed by an *unlinked* temp file.
+
+    The file is removed right after mapping, so no cleanup bookkeeping is
+    needed — the disk space is reclaimed when the mapping is garbage
+    collected — while the pages stay file-backed and therefore evictable:
+    the kernel can write them out under memory pressure instead of holding
+    the whole buffer in RSS (the point of the out-of-core mode).
+    """
+    os.makedirs(offload_dir, exist_ok=True)
+    fd, path = tempfile.mkstemp(dir=offload_dir, prefix="cheb-", suffix=".buf")
+    os.close(fd)
+    try:
+        buffer = np.memmap(path, dtype=dtype, mode="w+", shape=shape)
+    finally:
+        os.unlink(path)
+    return buffer
+
+
+def _release_row_range(array: np.ndarray, r0: int, r1: int) -> None:
+    """Drop the fully-covered pages of rows ``[r0, r1)`` of an offload buffer.
+
+    Same safety argument as :func:`_release_pages` (shared mapping → page
+    cache keeps the contents); page-aligned inward so partially-covered
+    boundary pages are left alone.  No-op for anything that is not a
+    C-contiguous shared-mapping ``np.memmap`` at file offset 0.
+    """
+    if (
+        not isinstance(array, np.memmap)
+        or getattr(array, "mode", None) not in ("r+", "w+")
+        or getattr(array, "offset", 0) != 0
+        or array.ndim != 2
+        or not array.flags["C_CONTIGUOUS"]
+    ):
+        return
+    raw = getattr(array, "_mmap", None)
+    if raw is None or not hasattr(raw, "madvise"):
+        return
+    page = _mmap_mod.PAGESIZE
+    row_bytes = array.shape[1] * array.itemsize
+    start = (r0 * row_bytes + page - 1) // page * page
+    end = (r1 * row_bytes) // page * page
+    if end > start:
+        try:
+            raw.madvise(_mmap_mod.MADV_DONTNEED, start, end - start)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
+
+def _release_pages(array: Optional[np.ndarray]) -> None:
+    """Drop a memmap buffer's resident pages (``MADV_DONTNEED``).
+
+    For a *shared file* mapping this only unmaps the PTEs — dirty pages
+    live in the page cache and are repopulated on the next access — so it
+    is safe to call on a buffer whose current contents are still needed.
+    The point is accounting + reclaimability: released pages leave the
+    process's RSS immediately and the page-cache copies are evictable.
+    No-op for plain ndarrays and on platforms without ``madvise``.
+    """
+    base = array
+    while base is not None and not isinstance(base, np.memmap):
+        base = getattr(base, "base", None)
+    raw = getattr(base, "_mmap", None)
+    if raw is None:
+        return
+    try:
+        raw.madvise(_mmap_mod.MADV_DONTNEED)
+    except (AttributeError, ValueError, OSError):  # pragma: no cover
+        pass
 
 
 def _row_normalized_adjacency(graph) -> sp.csr_matrix:
@@ -135,6 +215,7 @@ def chebyshev_gaussian_filter(
     theta: float = 0.5,
     precision: str = "double",
     workers: Optional[int] = 1,
+    offload_dir: Optional[str] = None,
 ) -> np.ndarray:
     """Apply the Chebyshev-expanded Gaussian filter to ``embedding``.
 
@@ -153,11 +234,20 @@ def chebyshev_gaussian_filter(
         (float32 operator, buffers and output).
     workers:
         Thread count for the SPMMs (bit-identical at every width).
+    offload_dir:
+        When set (the out-of-core mode), the recurrence's four ``n×d``
+        ping-pong buffers are unlinked temp-file memmaps under this
+        directory and every SPMM streams row blocks through the bounded
+        workspace of :func:`repro.linalg.kernels.spmm_chunked`, so the
+        filter's resident set stays roughly one workspace plus the input —
+        with bit-identical output (the chunked SPMM and the element-wise
+        updates preserve every accumulation order).
 
     Returns
     -------
-    The propagated (unnormalized) ``(n, d)`` matrix; callers usually pass it
-    through :func:`rescale_embedding`.
+    The propagated (unnormalized) ``(n, d)`` matrix (a memmap when
+    ``offload_dir`` is set); callers usually pass it through
+    :func:`rescale_embedding`, which materializes a fresh in-RAM array.
     """
     dtype = resolve_precision(precision)
     x = np.ascontiguousarray(embedding, dtype=dtype)
@@ -179,41 +269,89 @@ def chebyshev_gaussian_filter(
     # Bessel coefficients i_r(θ), precomputed as one vector.
     coefficients = iv(np.arange(order), theta)
 
+    # Out-of-core mode: buffers become evictable temp-file memmaps and the
+    # SPMMs stream bounded row-block workspaces.  Both substitutions are
+    # bit-transparent, so the two branches below differ only in residency.
+    if offload_dir is not None:
+        def alloc_like(template: np.ndarray) -> np.ndarray:
+            return _offload_buffer(template.shape, template.dtype, offload_dir)
+
+        def product(operator, operand, out):
+            return spmm_chunked(operator, operand, out=out, workers=workers)
+
+        _ew_block = max(1, SPMM_WORKSPACE_BYTES // max(1, x.shape[1] * x.itemsize))
+
+        def elementwise(op, a, b, out):
+            # Blocked traversal with per-range page release: the whole-array
+            # element-wise updates are the residency hot spot (they fault
+            # every page of their operands in), so stream them through the
+            # same row-block budget as the chunked SPMM.  Bit-identical to
+            # the one-shot call — element-wise ops have no cross-row
+            # interaction — and only ever a no-op release for anonymous
+            # operands such as the input embedding.
+            b_is_array = isinstance(b, np.ndarray)
+            for r0 in range(0, out.shape[0], _ew_block):
+                r1 = min(out.shape[0], r0 + _ew_block)
+                op(a[r0:r1], b[r0:r1] if b_is_array else b, out=out[r0:r1])
+                _release_row_range(out, r0, r1)
+                if a is not out:
+                    _release_row_range(a, r0, r1)
+                if b_is_array and b is not out and b is not a:
+                    _release_row_range(b, r0, r1)
+    else:
+        alloc_like = np.empty_like
+
+        def product(operator, operand, out):
+            return spmm(operator, operand, out=out, workers=workers)
+
+        def elementwise(op, a, b, out):
+            op(a, b, out=out)
+
     # Chebyshev recurrence (ProNE's exact update rule) on ping-pong buffers:
     # lx0/lx1 hold the last two Chebyshev terms, `spare` receives the next
     # one, `work` holds SPMM/axpy intermediates.  Apart from the first two
     # terms, no n×d arrays are allocated inside the loop.
     with telemetry.span("propagation.chebyshev_term", term=0):
         lx0 = x  # read-only alias; replaced by a real buffer at the first swap
-        work = spmm(modulated, x, workers=workers)
-        lx1 = spmm(modulated, work, workers=workers)
-        np.multiply(lx1, 0.5, out=lx1)
-        np.subtract(lx1, x, out=lx1)
-        conv = x * float(coefficients[0])
-        np.multiply(lx1, 2.0 * float(coefficients[1]), out=work)
-        np.subtract(conv, work, out=conv)
+        work = product(modulated, x, alloc_like(x))
+        lx1 = product(modulated, work, alloc_like(x))
+        elementwise(np.multiply, lx1, 0.5, lx1)
+        elementwise(np.subtract, lx1, x, lx1)
+        conv = alloc_like(x)
+        elementwise(np.multiply, x, float(coefficients[0]), conv)
+        elementwise(np.multiply, lx1, 2.0 * float(coefficients[1]), work)
+        elementwise(np.subtract, conv, work, conv)
     sign = 1.0
     spare: Optional[np.ndarray] = None
     for i in range(2, order):
         with telemetry.span("propagation.chebyshev_term", term=i) as span:
             if spare is None:
-                spare = np.empty_like(x)
-            spmm(modulated, lx1, out=work, workers=workers)   # work = M lx1
-            spmm(modulated, work, out=spare, workers=workers)  # spare = M²lx1
-            np.multiply(lx1, 2.0, out=work)
-            np.subtract(spare, work, out=spare)
-            np.subtract(spare, lx0, out=spare)                 # spare = lx2
-            np.multiply(spare, sign * 2.0 * float(coefficients[i]), out=work)
-            np.add(conv, work, out=conv)
+                spare = alloc_like(x)
+            product(modulated, lx1, work)   # work = M lx1
+            product(modulated, work, spare)  # spare = M²lx1
+            elementwise(np.multiply, lx1, 2.0, work)
+            elementwise(np.subtract, spare, work, spare)
+            elementwise(np.subtract, spare, lx0, spare)        # spare = lx2
+            elementwise(
+                np.multiply, spare, sign * 2.0 * float(coefficients[i]), work
+            )
+            elementwise(np.add, conv, work, conv)
             sign = -sign
             released = lx0
             lx0, lx1, spare = lx1, spare, (None if released is x else released)
+            # The rotated-out buffer is fully overwritten next iteration;
+            # its pages can leave the resident set right now.
+            _release_pages(spare)
         elapsed = getattr(span, "duration", None)
         if elapsed is not None:
             telemetry.histogram("propagation.term_seconds").observe(elapsed)
     # One more smoothing hop through D⁻¹(A+I), as in ProNE.
-    np.subtract(x, conv, out=conv)
-    return spmm(da, conv, out=work, workers=workers)
+    elementwise(np.subtract, x, conv, conv)
+    if lx1 is not x:
+        _release_pages(lx1)
+    if spare is not None:
+        _release_pages(spare)
+    return product(da, conv, work)
 
 
 def rescale_embedding(
@@ -261,6 +399,7 @@ def spectral_propagation(
     seed: SeedLike = None,
     precision: str = "double",
     workers: Optional[int] = 1,
+    offload_dir: Optional[str] = None,
 ) -> np.ndarray:
     """Full ProNE enhancement: Chebyshev filter then re-orthogonalization.
 
@@ -268,12 +407,14 @@ def spectral_propagation(
     deterministic).  ``precision="single"`` runs the filter in float32 and
     re-orthogonalizes with the Gram-trick ``eigh`` instead of the full dense
     SVD; the default double path is bit-identical to the historical
-    implementation.
+    implementation.  ``offload_dir`` enables the filter's out-of-core buffer
+    mode (see :func:`chebyshev_gaussian_filter`); the rescale always returns
+    a fresh in-RAM array, so no memmap escapes this function.
     """
     dtype = resolve_precision(precision)
     filtered = chebyshev_gaussian_filter(
         graph, embedding, order=order, mu=mu, theta=theta,
-        precision=precision, workers=workers,
+        precision=precision, workers=workers, offload_dir=offload_dir,
     )
     with telemetry.span("propagation.rescale", dimension=embedding.shape[1]):
         method = "gram" if dtype == np.float32 else "svd"

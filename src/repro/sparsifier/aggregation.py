@@ -24,6 +24,7 @@ model tracks) and ``distinct`` entries.
 
 from __future__ import annotations
 
+from multiprocessing import shared_memory
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -31,7 +32,7 @@ import numpy as np
 from repro import telemetry
 from repro.sparsifier.hashtable import SparseParallelHashTable, hash_partition
 from repro.telemetry.metrics import PROBE_BUCKETS
-from repro.utils.parallel import default_workers, parallel_map
+from repro.utils.parallel import default_workers, parallel_map, resolve_backend
 
 Triple = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
@@ -92,6 +93,108 @@ def aggregate_hash(
     return table.to_pairs(n)
 
 
+# Per-process context for the shared-memory sharded aggregation: the pool
+# initializer attaches the parent's segment once per worker and exposes the
+# packed key/value arrays as zero-copy views; tasks then read only their
+# shard's contiguous slice.
+_SHARD_SHM_CTX: Dict[str, object] = {}
+
+
+def _shard_shm_attach(shm_name: str, total: int) -> None:
+    """Pool initializer: map the parent's (keys, values) segment read-only."""
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _SHARD_SHM_CTX["shm"] = shm
+    _SHARD_SHM_CTX["keys"] = np.ndarray(total, dtype=np.int64, buffer=shm.buf)
+    _SHARD_SHM_CTX["values"] = np.ndarray(
+        total, dtype=np.float64, buffer=shm.buf, offset=8 * total
+    )
+
+
+def _shard_shm_detach() -> None:
+    """Drop the context's views and close the mapping (parent-side cleanup;
+    worker processes just exit)."""
+    shm = _SHARD_SHM_CTX.pop("shm", None)
+    _SHARD_SHM_CTX.clear()
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still alive elsewhere
+            pass
+
+
+def _build_shard_shm(start: int, stop: int, batch_size: int):
+    """Build one shard table from the shared segment's ``[start, stop)`` slice.
+
+    The slice holds that shard's keys in original stream order (the parent
+    stable-sorts by shard id), and batching mirrors the thread path, so the
+    resulting table — and therefore its ``items()`` order — is bit-identical
+    to the closure the thread backend runs.  Returns the compacted
+    ``(keys, values)`` plus (table_bytes, distinct, probe_rounds) telemetry;
+    shipping the compacted items instead of the table keeps the pickled
+    result proportional to the distinct-edge count, not the sample count.
+    """
+    shard_keys = _SHARD_SHM_CTX["keys"][start:stop]
+    shard_values = _SHARD_SHM_CTX["values"][start:stop]
+    table = SparseParallelHashTable(capacity_hint=max(64, shard_keys.size // 4))
+    for batch_start in range(0, shard_keys.size, batch_size):
+        batch_stop = batch_start + batch_size
+        table.add_batch(
+            shard_keys[batch_start:batch_stop], shard_values[batch_start:batch_stop]
+        )
+    out_keys, out_values = table.items()
+    return out_keys, out_values, (
+        table.size_in_bytes(), len(table), table.total_probe_rounds
+    )
+
+
+def _sharded_process_items(
+    keys: np.ndarray,
+    values: np.ndarray,
+    shard_of: np.ndarray,
+    num_shards: int,
+    workers: int,
+    batch_size: int,
+):
+    """Run the shard builds on a process pool via one shared-memory segment.
+
+    Returns per-shard ``(keys, values, stats)`` tuples in shard order.  The
+    parent groups the stream by shard id with a *stable* sort, so each worker
+    sees exactly the sequence the thread path's boolean-mask selection would
+    produce — the determinism contract does not depend on the backend.
+    """
+    order = np.argsort(shard_of, kind="stable")
+    counts = np.bincount(shard_of, minlength=num_shards)
+    bounds = np.zeros(num_shards + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    total = int(keys.size)
+    shm = shared_memory.SharedMemory(create=True, size=16 * total)
+    try:
+        np.ndarray(total, dtype=np.int64, buffer=shm.buf)[:] = keys[order]
+        np.ndarray(total, dtype=np.float64, buffer=shm.buf, offset=8 * total)[:] = (
+            values[order]
+        )
+        args = [
+            (int(bounds[shard]), int(bounds[shard + 1]), batch_size)
+            for shard in range(num_shards)
+        ]
+        try:
+            return parallel_map(
+                _build_shard_shm,
+                args,
+                workers=workers,
+                backend="process",
+                initializer=_shard_shm_attach,
+                initargs=(shm.name, total),
+            )
+        finally:
+            # The serial fallback runs the initializer in this process; the
+            # pooled path leaves the parent context empty and this is a no-op.
+            _shard_shm_detach()
+    finally:
+        shm.close()
+        shm.unlink()
+
+
 def aggregate_hash_sharded(
     rows,
     cols,
@@ -100,6 +203,7 @@ def aggregate_hash_sharded(
     *,
     num_shards: Optional[int] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     batch_size: int = 1_000_000,
     stats: Optional[Dict[str, float]] = None,
 ) -> Triple:
@@ -119,8 +223,18 @@ def aggregate_hash_sharded(
 
     ``num_shards`` defaults to the resolved worker count; ``workers=None``
     resolves to :func:`repro.utils.parallel.default_workers`.
+
+    ``backend="process"`` builds the shard tables in worker *processes*: the
+    packed keys/values are published once through a
+    ``multiprocessing.shared_memory`` segment (grouped by shard with a stable
+    sort, so each worker reads one contiguous slice), and the compacted
+    per-shard items come back for the same ``add_batch`` merge.  Because each
+    shard table sees the identical key sequence and batch boundaries as the
+    thread path, the output is bit-identical to ``backend="thread"`` at every
+    worker count (for a fixed ``num_shards``).
     """
     rows, cols, values = _as_arrays(rows, cols, values)
+    backend = resolve_backend(backend)
     if workers is None:
         workers = default_workers()
     if num_shards is None:
@@ -131,46 +245,57 @@ def aggregate_hash_sharded(
         return rows, cols, values
     keys = rows * np.int64(n) + cols
     shard_of = hash_partition(keys, num_shards)
-    # Shard spans run on pool threads; parent them to the caller's span.
-    parent_span = telemetry.current_span()
+    if backend == "process" and workers > 1:
+        shard_items = _sharded_process_items(
+            keys, values, shard_of, num_shards, workers, batch_size
+        )
+    else:
+        # Shard spans run on pool threads; parent them to the caller's span.
+        parent_span = telemetry.current_span()
 
-    def build_shard(shard: int, shard_keys: np.ndarray, shard_values: np.ndarray):
-        with telemetry.span(
-            "aggregate.shard", parent=parent_span,
-            shard=shard, keys=int(shard_keys.size),
+        def build_shard(
+            shard: int, shard_keys: np.ndarray, shard_values: np.ndarray
         ):
-            table = SparseParallelHashTable(
-                capacity_hint=max(64, shard_keys.size // 4)
+            with telemetry.span(
+                "aggregate.shard", parent=parent_span,
+                shard=shard, keys=int(shard_keys.size),
+            ):
+                table = SparseParallelHashTable(
+                    capacity_hint=max(64, shard_keys.size // 4)
+                )
+                for start in range(0, shard_keys.size, batch_size):
+                    stop = start + batch_size
+                    table.add_batch(
+                        shard_keys[start:stop], shard_values[start:stop]
+                    )
+            _record_table_metrics(table, "shard")
+            out_keys, out_values = table.items()
+            return out_keys, out_values, (
+                table.size_in_bytes(), len(table), table.total_probe_rounds
             )
-            for start in range(0, shard_keys.size, batch_size):
-                stop = start + batch_size
-                table.add_batch(shard_keys[start:stop], shard_values[start:stop])
-        _record_table_metrics(table, "shard")
-        return table
 
-    args = []
-    for shard in range(num_shards):
-        members = shard_of == shard
-        args.append((shard, keys[members], values[members]))
-    shards = parallel_map(build_shard, args, workers=workers)
+        args = []
+        for shard in range(num_shards):
+            members = shard_of == shard
+            args.append((shard, keys[members], values[members]))
+        shard_items = parallel_map(build_shard, args, workers=workers)
 
     with telemetry.span("aggregate.merge", shards=num_shards):
         merged = SparseParallelHashTable(
-            capacity_hint=max(1024, sum(len(t) for t in shards))
+            capacity_hint=max(1024, sum(item[2][1] for item in shard_items))
         )
-        for table in shards:
-            shard_keys, shard_values = table.items()
+        for shard_keys, shard_values, _ in shard_items:
             merged.add_batch(shard_keys, shard_values)
     _record_table_metrics(merged, "merged")
     if stats is not None:
-        shard_bytes = sum(t.size_in_bytes() for t in shards)
+        shard_bytes = sum(item[2][0] for item in shard_items)
         # Shard tables and the merged table coexist during the merge.
         stats["peak_table_bytes"] = shard_bytes + merged.size_in_bytes()
         stats["shard_table_bytes"] = shard_bytes
         stats["num_shards"] = num_shards
         stats["distinct"] = len(merged)
         stats["probe_rounds"] = merged.total_probe_rounds + sum(
-            t.total_probe_rounds for t in shards
+            item[2][2] for item in shard_items
         )
     return merged.to_pairs(n)
 

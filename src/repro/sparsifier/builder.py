@@ -44,7 +44,7 @@ from repro.sparsifier.aggregation import (
     aggregate_sort,
 )
 from repro.sparsifier.path_sampling import PathSamplingConfig, sample_sparsifier_edges
-from repro.utils.parallel import default_workers
+from repro.utils.parallel import default_workers, resolve_backend
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import StageTimer
 
@@ -106,6 +106,7 @@ def build_netmf_sparsifier(
     aggregator: str = "hash",
     timer: Optional[StageTimer] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     batch_size: int = 2_000_000,
 ) -> SparsifierResult:
     """Sample (Algorithm 2) and aggregate into the count matrix ``W``.
@@ -130,35 +131,50 @@ def build_netmf_sparsifier(
         resolves to :func:`repro.utils.parallel.default_workers`.  For a
         fixed ``seed`` and ``batch_size`` the result is bit-identical for
         every worker count.
+    backend:
+        Execution substrate, ``"thread"`` (default) or ``"process"``
+        (out-of-core mode: sampling slabs run in worker processes that
+        reopen a memmapped graph, sharded aggregation goes through shared
+        memory).  Both backends keep the same batch/shard decomposition and
+        therefore the same bits — see
+        :func:`repro.sparsifier.path_sampling.sample_sparsifier_edges` and
+        :func:`repro.sparsifier.aggregation.aggregate_hash_sharded`.
     batch_size:
         Maximum walk-slab size; bounds peak memory of the sampling stage.
     """
     rng = ensure_rng(seed)
+    backend = resolve_backend(backend)
     if workers is None:
         workers = default_workers()
     n = graph.num_vertices
     timer = timer if timer is not None else StageTimer()
     stats: Dict[str, float] = {}
-    with timer.stage("sparsifier", aggregator=aggregator, workers=workers):
+    with timer.stage(
+        "sparsifier", aggregator=aggregator, workers=workers, backend=backend
+    ):
         tic = time.perf_counter()
         with telemetry.span("sparsifier.sampling"):
             u, v, w, draws = sample_sparsifier_edges(
                 graph, config, rng, batch_size=batch_size, workers=workers,
-                stats=stats,
+                backend=backend, stats=stats,
             )
         stats["sampling_seconds"] = time.perf_counter() - tic
         stats["samples_per_sec"] = u.size / max(stats["sampling_seconds"], 1e-12)
         tic = time.perf_counter()
         with telemetry.span("sparsifier.aggregation", aggregator=aggregator):
             if aggregator == "hash":
+                # The shared-table aggregation is already serial in the
+                # parent; running it there keeps "hash" bit-identical across
+                # backends (the backend only changes who executes the walks).
                 rows, cols, vals = aggregate_hash(u, v, w, n, stats=stats)
             elif aggregator == "hash-sharded":
                 # Fixed shard count: the decomposition (and hence the fp
                 # summation order) must not depend on ``workers``, mirroring
                 # the batch_size design in sampling.  Workers only map shards
-                # to threads.
+                # to threads (or processes).
                 rows, cols, vals = aggregate_hash_sharded(
-                    u, v, w, n, workers=workers, num_shards=8, stats=stats
+                    u, v, w, n, workers=workers, num_shards=8,
+                    backend=backend, stats=stats,
                 )
             elif aggregator == "sort":
                 rows, cols, vals = aggregate_sort(u, v, w, n)

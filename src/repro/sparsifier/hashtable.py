@@ -152,10 +152,19 @@ class SparseParallelHashTable:
     def add_pairs(
         self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray, n: int
     ) -> None:
-        """Accumulate weighted ``(row, col)`` pairs; keys pack as ``row*n+col``."""
+        """Accumulate weighted ``(row, col)`` pairs; keys pack as ``row*n+col``.
+
+        Empty batches are a no-op: a worker whose batch has no surviving
+        ``src < dst`` edges (tiny or sparse partitions) must be able to flush
+        nothing without tripping the zero-size reductions below.
+        """
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
-        if rows.size and (rows.max() >= n or cols.max() >= n):
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must be parallel arrays")
+        if rows.size == 0:
+            return
+        if rows.max() >= n or cols.max() >= n:
             raise ValueError("pair indices out of range for given n")
         self.add_batch(rows * np.int64(n) + cols, values)
 

@@ -29,10 +29,72 @@ from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.graph.walks import step_random_walk
 from repro.sparsifier.downsampling import downsampling_probabilities
-from repro.utils.parallel import default_workers, parallel_map
+from repro.utils.parallel import default_workers, parallel_map, resolve_backend
 from repro.utils.rng import SeedLike, ensure_rng, spawn_batch_rngs
 
 GraphLike = Union[CSRGraph, CompressedGraph]
+
+
+# Per-process sampling context, installed once per worker by the pool
+# initializer (see ``sample_sparsifier_edges(backend="process")``): the walk
+# graph plus the derived seed-edge arrays, so each task pickles only its
+# batch of seed indices and its RNG stream.
+_SAMPLE_CTX: Dict[str, object] = {}
+
+
+def _sample_worker_init(graph_spec: tuple, config: "PathSamplingConfig") -> None:
+    """Rebuild the sampling context inside a worker process.
+
+    ``graph_spec`` is ``("mmap", path)`` — reopen the CSR v2 container
+    memmapped, so every worker shares the page cache instead of holding a
+    private copy of the graph — or ``("pickle", graph)`` for in-memory
+    graphs.  The derived arrays (masked endpoints, downsampling
+    probabilities) are recomputed here; they are pure deterministic functions
+    of the graph and config, so they match the parent's bit for bit.
+    """
+    if graph_spec[0] == "mmap":
+        from repro.graph.io import load_csr
+
+        graph = load_csr(graph_spec[1])
+    else:
+        graph = graph_spec[1]
+    flat = graph.decompress() if isinstance(graph, CompressedGraph) else graph
+    src, dst = flat.edge_endpoints()
+    mask = src < dst
+    src, dst = src[mask], dst[mask]
+    edge_w = flat.weights[mask] if flat.weights is not None else None
+    if config.downsample:
+        probs = downsampling_probabilities(
+            src,
+            dst,
+            flat.weighted_degrees(),
+            constant=config.downsample_constant,
+            edge_weights=edge_w,
+        )
+    else:
+        probs = np.ones(src.size)
+    _SAMPLE_CTX.update(
+        graph=graph, src=src, dst=dst, probs=probs, window=config.window
+    )
+
+
+def _walk_chunk_proc(
+    index: int, batch: np.ndarray, chunk_rng: np.random.Generator
+):
+    """Process-pool walk task: same operation sequence as the thread path's
+    ``walk_chunk`` closure (telemetry spans aside — they draw no randomness),
+    so a given ``(batch, chunk_rng)`` yields bit-identical walks."""
+    src = _SAMPLE_CTX["src"]
+    dst = _SAMPLE_CTX["dst"]
+    probs = _SAMPLE_CTX["probs"]
+    lengths = chunk_rng.integers(1, _SAMPLE_CTX["window"] + 1, size=batch.size)
+    flip = chunk_rng.random(batch.size) < 0.5
+    s_u = np.where(flip, dst[batch], src[batch])
+    s_v = np.where(flip, src[batch], dst[batch])
+    u_prime, v_prime = path_sample_pairs(
+        _SAMPLE_CTX["graph"], s_u, s_v, lengths, chunk_rng
+    )
+    return u_prime, v_prime, 1.0 / probs[batch]
 
 
 @dataclass(frozen=True)
@@ -133,6 +195,7 @@ def sample_sparsifier_edges(
     *,
     batch_size: int = 2_000_000,
     workers: Optional[int] = 1,
+    backend: Optional[str] = None,
     stats: Optional[Dict[str, float]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Run Algorithm 2 end to end.
@@ -152,6 +215,14 @@ def sample_sparsifier_edges(
     count.  ``workers=None`` resolves to
     :func:`repro.utils.parallel.default_workers`.
 
+    ``backend="process"`` walks the slabs in worker *processes* instead:
+    each worker rebuilds the sampling context once via a pool initializer —
+    reopening the graph's CSR v2 container memmapped when the graph was
+    loaded with ``mmap`` (``graph.mmap_source``), falling back to one
+    pickled copy otherwise — and tasks ship only a batch of seed indices
+    plus the batch's RNG stream.  The per-batch-index streams make the
+    result bit-identical to the thread backend at every worker count.
+
     ``stats``, when given, receives sampling counters: realized draws,
     surviving walk samples, batch count/size and the resolved worker count.
     When telemetry is enabled (:func:`repro.telemetry.enable`) each slab is
@@ -160,6 +231,7 @@ def sample_sparsifier_edges(
     in the global registry.
     """
     rng = ensure_rng(seed)
+    backend = resolve_backend(backend)
     if workers is None:
         workers = default_workers()
     if batch_size < 1:
@@ -242,6 +314,7 @@ def sample_sparsifier_edges(
         stats["batches"] = len(starts)
         stats["batch_size"] = int(batch_size)
         stats["workers"] = int(workers)
+        stats["backend"] = backend
     if seed_edge.size == 0:
         empty_i = np.empty(0, dtype=np.int64)
         return empty_i, empty_i.copy(), np.empty(0), total_draws
@@ -254,7 +327,21 @@ def sample_sparsifier_edges(
         (index, seed_edge[start : start + batch_size], batch_rng)
         for index, (start, batch_rng) in enumerate(zip(starts, batch_rngs))
     ]
-    results = parallel_map(walk_chunk, args, workers=workers)
+    if backend == "process" and workers > 1:
+        mmap_source = getattr(graph, "mmap_source", None)
+        graph_spec = (
+            ("mmap", mmap_source) if mmap_source else ("pickle", graph)
+        )
+        results = parallel_map(
+            _walk_chunk_proc,
+            args,
+            workers=workers,
+            backend="process",
+            initializer=_sample_worker_init,
+            initargs=(graph_spec, config),
+        )
+    else:
+        results = parallel_map(walk_chunk, args, workers=workers)
     telemetry.counter("sparsifier.draws").inc(total_draws)
     return (
         np.concatenate([r[0] for r in results]),

@@ -2,24 +2,65 @@
 
 The paper's C++ substrate executes ``MapEdges`` style primitives with a
 work-stealing scheduler.  In Python the heavy lifting happens inside numpy
-kernels (which release the GIL), so the right shape is: split the index space
-into contiguous chunks, run a vectorized kernel per chunk, optionally on a
-thread pool.  ``parallel_map`` degrades gracefully to a serial loop when
+kernels (which release the GIL), so the default shape is: split the index
+space into contiguous chunks, run a vectorized kernel per chunk, optionally
+on a thread pool.  ``parallel_map`` degrades gracefully to a serial loop when
 ``workers <= 1``, which keeps unit tests deterministic and cheap.
+
+Two execution backends are offered:
+
+* ``backend="thread"`` (default) — a ``ThreadPoolExecutor``.  Right for
+  numpy-kernel-dominated tasks (the kernels release the GIL) and for tasks
+  that close over in-process state.
+* ``backend="process"`` — a ``ProcessPoolExecutor``.  Escapes the GIL for
+  Python-side batching entirely and keeps large per-task temporaries in the
+  worker processes' address spaces (the out-of-core execution mode's
+  substrate).  Tasks and their arguments must be picklable; module-level
+  functions only, no closures.  ``initializer``/``initargs`` ship per-worker
+  context (a memmap path, big read-only arrays) once per worker instead of
+  once per task.
+
+Failure semantics (both backends): the first task that raises wins — every
+not-yet-started task is cancelled, the pool is torn down, and the original
+exception is re-raised.  Earlier versions collected futures strictly in
+submission order, so a failure in task 0 still let tasks 1..N-1 run to
+completion before the exception surfaced.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
+
+BACKENDS = ("thread", "process")
 
 
 def default_workers() -> int:
     """Worker count used when callers pass ``workers=None``."""
     return min(8, os.cpu_count() or 1)
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate and normalize an execution-backend name.
+
+    ``None`` means "the default" (``"thread"``); anything else must be one of
+    :data:`BACKENDS`.
+    """
+    if backend is None:
+        return "thread"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
 
 
 def chunk_ranges(total: int, chunks: int) -> List[Tuple[int, int]]:
@@ -48,20 +89,71 @@ def chunk_ranges(total: int, chunks: int) -> List[Tuple[int, int]]:
     return ranges
 
 
+def _collect_fail_fast(pool, futures) -> List[T]:
+    """Results in submission order; on first failure cancel the rest, re-raise.
+
+    ``wait(..., FIRST_EXCEPTION)`` returns as soon as any future raises (or
+    all complete); pending futures are then cancelled before the original
+    exception propagates, so one bad batch does not leave the rest of the
+    queue burning CPU behind the traceback.
+    """
+    done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+    failed = next(
+        (f for f in futures if f in done and f.exception() is not None), None
+    )
+    if failed is not None:
+        for future in not_done:
+            future.cancel()
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise failed.exception()
+    return [future.result() for future in futures]
+
+
 def parallel_map(
     func: Callable[..., T],
     argument_tuples: Sequence[tuple],
     *,
     workers: int = 1,
+    backend: str = "thread",
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
 ) -> List[T]:
-    """Apply ``func(*args)`` for every tuple, serially or on a thread pool.
+    """Apply ``func(*args)`` for every tuple, serially or on a worker pool.
 
     Results are returned in input order regardless of completion order.
+
+    Parameters
+    ----------
+    workers:
+        Pool width; ``None`` resolves to :func:`default_workers`, ``<= 1``
+        runs a plain serial loop (after running ``initializer`` once, so the
+        serial path sees the same per-worker context).
+    backend:
+        ``"thread"`` (default) or ``"process"`` — see the module docstring.
+        Process tasks must be picklable module-level callables.
+    initializer / initargs:
+        Run once in every worker before any task (both backends; the serial
+        path calls it inline).  The process backend uses this to ship
+        per-worker context — e.g. a memmap path reopened in each child —
+        once per worker instead of once per task.
     """
+    backend = resolve_backend(backend)
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(argument_tuples) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [func(*args) for args in argument_tuples]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    if backend == "process":
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(argument_tuples)),
+            initializer=initializer,
+            initargs=initargs,
+        )
+    else:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
+    with pool:
         futures = [pool.submit(func, *args) for args in argument_tuples]
-        return [future.result() for future in futures]
+        return _collect_fail_fast(pool, futures)

@@ -87,6 +87,39 @@ class TestCommands:
         np.testing.assert_array_equal(np.load(paths[1]), np.load(paths[4]))
         assert "sparsifier.samples_per_sec" in capsys.readouterr().out
 
+    def test_convert_then_embed_process_backend(self, edge_file, tmp_path, capsys):
+        # convert → embed --backend process on the memmapped container must
+        # reproduce the thread/in-memory embedding bit for bit.
+        v2_path = str(tmp_path / "graph.csrv2")
+        assert main(["convert", "--input", edge_file, "--output", v2_path]) == 0
+        assert "csr-v2" in capsys.readouterr().out
+        thread_out = str(tmp_path / "thread.npy")
+        process_out = str(tmp_path / "process.npy")
+        for inp, backend, out_path in (
+            (edge_file, "thread", thread_out),
+            (v2_path, "process", process_out),
+        ):
+            code = main(
+                [
+                    "embed", "--input", inp, "--method", "lightne",
+                    "--dim", "8", "--window", "2", "--seed", "3",
+                    "--workers", "2", "--backend", backend,
+                    "--output", out_path,
+                ]
+            )
+            assert code == 0
+        np.testing.assert_array_equal(np.load(thread_out), np.load(process_out))
+
+    def test_backend_rejected_for_unsupporting_method(self, edge_file, tmp_path):
+        with pytest.raises(SystemExit, match="backend"):
+            main(
+                [
+                    "embed", "--input", edge_file, "--method", "line",
+                    "--backend", "process",
+                    "--output", str(tmp_path / "x.npy"),
+                ]
+            )
+
     def test_embed_then_eval_nc(self, tmp_path, capsys):
         out_path = str(tmp_path / "vec.npy")
         main(

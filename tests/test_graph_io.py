@@ -8,11 +8,25 @@ import pytest
 from repro.errors import GraphFormatError
 from repro.graph.builders import from_edges
 from repro.graph.io import (
+    CSR_V2_SUFFIX,
+    is_csr_v2,
     load_csr,
+    load_csr_v2,
     read_edge_list,
     save_csr,
+    save_csr_v2,
     write_edge_list,
 )
+
+
+def _disk_backed(array) -> bool:
+    """True when the array's buffer chain bottoms out in a memmap."""
+    base = array
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return True
+        base = getattr(base, "base", None)
+    return False
 
 
 class TestEdgeList:
@@ -93,6 +107,107 @@ class TestBinaryCSR:
         path = tmp_path / "iso.csr.npz"
         save_csr(g, path)
         assert load_csr(path).num_vertices == 7
+
+
+class TestCSRv2:
+    """The memmappable on-disk container behind ``--backend process``."""
+
+    def _save(self, tmp_path, graph):
+        return save_csr_v2(graph, tmp_path / ("g" + CSR_V2_SUFFIX))
+
+    def test_round_trip(self, tmp_path, er_graph):
+        path = self._save(tmp_path, er_graph)
+        assert load_csr_v2(path) == er_graph
+
+    def test_round_trip_weighted(self, tmp_path, weighted_triangle):
+        path = self._save(tmp_path, weighted_triangle)
+        again = load_csr_v2(path)
+        assert again == weighted_triangle
+        assert again.weights is not None
+
+    def test_round_trip_empty_graph(self, tmp_path):
+        g = from_edges([], [], num_vertices=5)
+        path = self._save(tmp_path, g)
+        again = load_csr_v2(path)
+        assert again.num_vertices == 5 and again.num_edges == 0
+
+    def test_int32_targets_preserved(self, tmp_path):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([1, 0], dtype=np.int32),
+        )
+        path = self._save(tmp_path, g)
+        assert load_csr_v2(path).targets.dtype == np.int32
+
+    def test_mmap_arrays_disk_backed(self, tmp_path, er_graph):
+        path = self._save(tmp_path, er_graph)
+        g = load_csr_v2(path, mmap=True)
+        assert _disk_backed(g.offsets) and _disk_backed(g.targets)
+        assert g.mmap_source == str(path)
+
+    def test_materialized_load(self, tmp_path, er_graph):
+        path = self._save(tmp_path, er_graph)
+        g = load_csr_v2(path, mmap=False)
+        assert not _disk_backed(g.offsets)
+        assert g.mmap_source is None
+
+    def test_load_csr_dispatches_to_v2(self, tmp_path, er_graph):
+        path = self._save(tmp_path, er_graph)
+        assert load_csr(path) == er_graph
+
+    def test_is_csr_v2(self, tmp_path, er_graph):
+        path = self._save(tmp_path, er_graph)
+        assert is_csr_v2(path)
+        assert not is_csr_v2(tmp_path / "nope")
+
+    def test_v1_mmap_request_rejected(self, tmp_path, er_graph):
+        path = tmp_path / "g.csr.npz"
+        save_csr(er_graph, path)
+        with pytest.raises(GraphFormatError, match="v2"):
+            load_csr(path, mmap=True)
+
+    def test_truncated_array_rejected(self, tmp_path, er_graph):
+        import os
+
+        path = self._save(tmp_path, er_graph)
+        target_file = os.path.join(path, "targets.npy")
+        with open(target_file, "r+b") as handle:
+            handle.truncate(os.path.getsize(target_file) - 8)
+        with pytest.raises(GraphFormatError):
+            load_csr_v2(path)
+
+    def test_bad_magic_rejected(self, tmp_path, er_graph):
+        import json
+        import os
+
+        path = self._save(tmp_path, er_graph)
+        header_file = os.path.join(path, "header.json")
+        with open(header_file) as handle:
+            header = json.load(handle)
+        header["magic"] = "not-a-csr"
+        with open(header_file, "w") as handle:
+            json.dump(header, handle)
+        with pytest.raises(GraphFormatError, match="magic"):
+            load_csr_v2(path)
+
+    def test_missing_array_rejected(self, tmp_path, er_graph):
+        import os
+
+        path = self._save(tmp_path, er_graph)
+        os.remove(os.path.join(path, "offsets.npy"))
+        with pytest.raises(GraphFormatError):
+            load_csr_v2(path)
+
+    def test_mmap_graph_usable(self, tmp_path, er_graph):
+        # Algorithms must run unchanged on a memmapped graph.
+        path = self._save(tmp_path, er_graph)
+        g = load_csr_v2(path)
+        assert g.degree(0) == er_graph.degree(0)
+        np.testing.assert_array_equal(
+            g.neighbors(3), er_graph.neighbors(3)
+        )
 
 
 class TestMetis:

@@ -1,0 +1,164 @@
+"""Out-of-core execution: thread-vs-process bit-identity parity sweeps.
+
+The contract under test is the one stated in docs/performance.md: switching
+``backend="thread"`` → ``backend="process"`` (and an in-memory graph for a
+memmapped CSR v2 container) changes *where* the work runs and *where* the
+buffers live, never a single output bit — at every worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.embedding.lightne import LightNEParams, lightne_embedding
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.io import load_csr_v2, save_csr_v2
+from repro.linalg.kernels import spmm, spmm_chunked
+from repro.linalg.spectral import spectral_propagation
+from repro.sparsifier.builder import build_netmf_sparsifier
+from repro.sparsifier.path_sampling import PathSamplingConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(120, 0.08, seed=11)
+
+
+@pytest.fixture(scope="module")
+def mmap_graph(graph, tmp_path_factory):
+    path = save_csr_v2(graph, tmp_path_factory.mktemp("ooc") / "g.csrv2")
+    g = load_csr_v2(path)
+    assert g.mmap_source is not None
+    return g
+
+
+def _counts(graph, config, *, backend, workers, aggregator):
+    result = build_netmf_sparsifier(
+        graph,
+        config,
+        np.random.default_rng(5),
+        aggregator=aggregator,
+        workers=workers,
+        backend=backend,
+    )
+    counts = result.counts.tocsr()
+    return counts.indptr, counts.indices, counts.data, result.num_draws
+
+
+class TestSparsifierParity:
+    @pytest.mark.parametrize("aggregator", ["hash", "hash-sharded"])
+    def test_backend_and_storage_irrelevant(self, graph, mmap_graph, aggregator):
+        config = PathSamplingConfig(window=4, num_samples=3000)
+        reference = _counts(
+            graph, config, backend="thread", workers=1, aggregator=aggregator
+        )
+        for g in (graph, mmap_graph):
+            for backend in ("thread", "process"):
+                for workers in (1, 2, 3):
+                    got = _counts(
+                        g, config, backend=backend, workers=workers,
+                        aggregator=aggregator,
+                    )
+                    for a, b in zip(got[:3], reference[:3]):
+                        np.testing.assert_array_equal(a, b)
+                    assert got[3] == reference[3]
+
+    def test_backend_recorded_in_stats(self, graph):
+        config = PathSamplingConfig(window=3, num_samples=500)
+        result = build_netmf_sparsifier(
+            graph, config, np.random.default_rng(0), backend="process", workers=2
+        )
+        assert result.stats["backend"] == "process"
+
+
+class TestChunkedSPMM:
+    @pytest.fixture(scope="class")
+    def operands(self):
+        rng = np.random.default_rng(3)
+        matrix = sp.random(400, 300, density=0.03, random_state=7, format="csr")
+        dense = rng.standard_normal((300, 17))
+        return matrix, dense
+
+    @pytest.mark.parametrize("block_rows", [None, 1, 7, 100, 10_000])
+    def test_matches_spmm(self, operands, block_rows):
+        matrix, dense = operands
+        reference = spmm(matrix, dense)
+        got = spmm_chunked(matrix, dense, block_rows=block_rows, workers=2)
+        np.testing.assert_array_equal(got, reference)
+
+    def test_memmapped_out(self, operands, tmp_path):
+        matrix, dense = operands
+        out = np.lib.format.open_memmap(
+            tmp_path / "out.npy", mode="w+", dtype=np.float64,
+            shape=(matrix.shape[0], dense.shape[1]),
+        )
+        got = spmm_chunked(matrix, dense, out=out, block_rows=64)
+        assert got is out
+        np.testing.assert_array_equal(np.asarray(out), spmm(matrix, dense))
+
+    def test_vector_rhs(self, operands):
+        matrix, _ = operands
+        vector = np.random.default_rng(1).standard_normal(matrix.shape[1])
+        np.testing.assert_array_equal(
+            spmm_chunked(matrix, vector, block_rows=33), spmm(matrix, vector)
+        )
+
+    def test_workspace_bound_respected(self, operands):
+        matrix, dense = operands
+        # A tiny workspace must still cover every row, one block at a time.
+        got = spmm_chunked(matrix, dense, workspace_bytes=dense.itemsize)
+        np.testing.assert_array_equal(got, spmm(matrix, dense))
+
+    def test_dense_input_rejected(self, operands):
+        from repro.errors import FactorizationError
+
+        _, dense = operands
+        with pytest.raises(FactorizationError):
+            spmm_chunked(np.eye(300), dense)
+
+
+class TestPropagationOffload:
+    @pytest.mark.parametrize("precision", ["double", "single"])
+    def test_offload_bit_identical(self, graph, tmp_path, precision):
+        rng = np.random.default_rng(2)
+        vectors = rng.standard_normal((graph.num_vertices, 8))
+        reference = spectral_propagation(
+            graph, vectors, order=6, precision=precision
+        )
+        offloaded = spectral_propagation(
+            graph, vectors, order=6, precision=precision,
+            offload_dir=str(tmp_path),
+        )
+        np.testing.assert_array_equal(offloaded, reference)
+        # No memmap may escape: downstream code mutates embeddings in place.
+        assert type(offloaded) is np.ndarray
+        assert not isinstance(offloaded.base, np.memmap)
+
+
+class TestEndToEndParity:
+    def test_process_on_mmap_matches_thread_in_memory(self, graph, mmap_graph):
+        params = dict(dimension=12, window=3, sample_multiplier=1.0)
+        reference = lightne_embedding(
+            graph, LightNEParams(workers=2, backend="thread", **params), seed=9
+        )
+        for workers in (1, 3):
+            got = lightne_embedding(
+                mmap_graph,
+                LightNEParams(workers=workers, backend="process", **params),
+                seed=9,
+            )
+            np.testing.assert_array_equal(got.vectors, reference.vectors)
+            assert got.info["backend"] == "process"
+
+    def test_ledger_records_backend(self, graph, tmp_path):
+        from repro.telemetry import ledger
+
+        result = lightne_embedding(
+            graph,
+            LightNEParams(dimension=8, window=3, backend="process", workers=2),
+            seed=4,
+        )
+        record = ledger.build_record(result, dataset="er-test", seed=4)
+        assert record.params["backend"] == "process"

@@ -118,6 +118,33 @@ class TestPairs:
         with pytest.raises(ValueError):
             table.add_pairs(np.array([0]), np.array([7]), np.array([1.0]), n=5)
 
+    def test_add_pairs_empty_batch(self):
+        # Regression: a worker whose chunk has no surviving src<dst edges
+        # hands an empty batch to the table; `.max()` on it used to crash.
+        table = SparseParallelHashTable()
+        table.add_pairs(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64), n=5,
+        )
+        assert len(table) == 0
+
+    def test_add_pairs_mismatched_shapes(self):
+        table = SparseParallelHashTable()
+        with pytest.raises(ValueError, match="parallel arrays"):
+            table.add_pairs(
+                np.array([0, 1]), np.empty(0, dtype=np.int64),
+                np.array([1.0, 2.0]), n=5,
+            )
+
+    @pytest.mark.parametrize("compact", [False, True])
+    def test_add_batch_empty(self, compact):
+        table = SparseParallelHashTable(compact=compact)
+        table.add_batch(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(table) == 0
+        # Still usable after the empty batch.
+        table.add_batch(np.array([3]), np.array([1.5]))
+        assert table.get(3) == pytest.approx(1.5)
+
 
 class TestAgainstDict:
     def _compare(self, keys, values):

@@ -8,7 +8,39 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.utils.parallel import chunk_ranges, parallel_map
+from repro.utils.parallel import (
+    BACKENDS,
+    chunk_ranges,
+    parallel_map,
+    resolve_backend,
+)
+
+
+# Module-level so the process backend can pickle them.
+def _double(x):
+    return x * 2
+
+
+def _add(a, b):
+    return a + b
+
+
+def _boom(x):
+    if x == 2:
+        raise RuntimeError("worker failure")
+    time.sleep(0.01)
+    return x
+
+
+_INIT_STATE = {}
+
+
+def _remember(tag):
+    _INIT_STATE["tag"] = tag
+
+
+def _read_tag(_):
+    return _INIT_STATE.get("tag")
 from repro.utils.rng import derive_seed, ensure_rng, spawn_batch_rngs, spawn_rngs
 from repro.utils.timer import StageTimer, Timer
 from repro.utils.validation import (
@@ -364,6 +396,52 @@ class TestParallelMap:
 
     def test_empty(self):
         assert parallel_map(lambda x: x, []) == []
+
+    def test_process_backend(self):
+        got = parallel_map(_double, [(i,) for i in range(6)],
+                           workers=3, backend="process")
+        assert got == [0, 2, 4, 6, 8, 10]
+
+    def test_process_backend_multiple_args(self):
+        assert parallel_map(_add, [(1, 2), (3, 4)],
+                            workers=2, backend="process") == [3, 7]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            parallel_map(_double, [(1,), (2,)], workers=2, backend="fiber")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fail_fast_first_error_wins(self, backend):
+        # The exception raised must be the earliest failure in submission
+        # order, and the pool must shut down without waiting for the rest.
+        with pytest.raises(RuntimeError, match="worker failure"):
+            parallel_map(_boom, [(i,) for i in range(8)],
+                         workers=4, backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_initializer_runs(self, backend):
+        got = parallel_map(_read_tag, [(0,), (1,)], workers=2, backend=backend,
+                           initializer=_remember, initargs=("hello",))
+        assert got == ["hello", "hello"]
+
+    def test_initializer_runs_on_serial_path(self):
+        _INIT_STATE.clear()
+        got = parallel_map(_read_tag, [(0,)], workers=4, backend="thread",
+                           initializer=_remember, initargs=("inline",))
+        assert got == ["inline"]
+
+
+class TestResolveBackend:
+    def test_none_is_thread(self):
+        assert resolve_backend(None) == "thread"
+
+    def test_passthrough(self):
+        assert resolve_backend("process") == "process"
+        assert resolve_backend("thread") == "thread"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("fiber")
 
 
 class TestLogging:
