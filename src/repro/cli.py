@@ -21,7 +21,9 @@ Observability flags (every subcommand, see ``docs/observability.md``):
 (:func:`repro.utils.log.configure_logging`; ``REPRO_LOG`` also works),
 ``--trace-out t.json`` writes a Chrome/Perfetto trace of the run,
 ``--metrics-out m.json`` writes the metrics-registry snapshot,
-``--profile-memory`` samples RSS in the background and reports the peak, and
+``--profile-memory`` samples RSS in the background and reports the peak,
+``--progress`` renders a single-line live progress indicator on stderr
+(stage completion counts, plus worker liveness on ``--backend process``), and
 ``--ledger`` / ``--ledger-out runs.jsonl`` append one
 :class:`~repro.telemetry.ledger.RunRecord` per pipeline run to the run
 ledger (``REPRO_LEDGER=1`` enables the same without a flag).
@@ -94,7 +96,7 @@ def _load_graph(args: argparse.Namespace):
 # dataclass defaults for everything else.
 _KNOB_ARGS = (
     "window", "multiplier", "propagate", "downsample", "workers", "backend",
-    "precision",
+    "precision", "batch_size",
 )
 
 
@@ -272,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "(see docs/performance.md)",
         )
         p.add_argument(
+            "--progress", action="store_true",
+            help="render a single-line live progress indicator on stderr "
+                 "(parallel-stage completion counts; with --backend process "
+                 "also live worker/stall counts from heartbeats)",
+        )
+        p.add_argument(
             "--verbose", "-v", action="store_true",
             help="emit the library's DEBUG log lines (stage boundaries, "
                  "sample counts); REPRO_LOG=<level> sets a custom level",
@@ -354,6 +362,13 @@ def build_parser() -> argparse.ArgumentParser:
                      "peak memory), 'double' is the bit-exact legacy path "
                      "(default: the method's own)",
             )
+        p.add_argument(
+            "--batch-size", dest="batch_size", type=int, default=None,
+            help="samples per parallel sampling batch (methods with a "
+                 "batch_size parameter; smaller values mean more, smaller "
+                 "pool tasks — changes which RNG stream draws each sample, "
+                 "so keep it fixed when comparing runs)",
+        )
         # --workers is already on add_common (shared with info/stream).
 
     p_embed = sub.add_parser("embed", help="compute an embedding")
@@ -430,6 +445,7 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
 
     from repro import telemetry
     from repro.telemetry import ledger as ledger_mod
+    from repro.telemetry import progress as progress_mod
     from repro.utils.log import configure_logging
 
     if getattr(args, "verbose", False):
@@ -442,6 +458,13 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     if wants_ledger:
         ledger_mod.enable(path=ledger_out)
 
+    # --progress is independent of span tracing: it only needs the stage
+    # labels parallel_map already carries (plus worker heartbeats on the
+    # process backend), so it works with telemetry fully disabled.
+    wants_progress = bool(getattr(args, "progress", False))
+    if wants_progress:
+        progress_mod.enable()
+
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     profile_mem = getattr(args, "profile_memory", False)
@@ -450,6 +473,8 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
         try:
             return args.func(args)
         finally:
+            if wants_progress:
+                progress_mod.disable()
             if wants_ledger:
                 print(f"run ledger -> {ledger_mod.active_path()}")
                 ledger_mod.disable()
@@ -470,6 +495,8 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
             else:
                 code = args.func(args)
     finally:
+        if wants_progress:
+            progress_mod.disable()
         if trace_out:
             tracer.write_chrome_trace(trace_out)
             print(f"trace ({tracer.span_count} spans) -> {trace_out}")

@@ -164,13 +164,24 @@ def run_pipeline(
         )
         vectors = spec.body(ctx)
 
+    params_dict = dataclasses.asdict(params)
     info: Dict[str, object] = {
         "method": spec.name,
-        "params": dataclasses.asdict(params),
+        "params": params_dict,
         "n": graph.num_vertices,
         "m": graph.num_edges,
     }
     info.update(ctx.info)
+    # Execution provenance, resolved even when telemetry is off: the ledger
+    # needs the actual pool width/backend (not the ``workers=None`` sentinel)
+    # to keep thread and process runs comparable.
+    if "workers" in params_dict:
+        from repro.utils.parallel import default_workers
+
+        info["resolved_workers"] = int(params_dict["workers"] or default_workers())
+    else:
+        info["resolved_workers"] = 1
+    info["resolved_backend"] = str(params_dict.get("backend") or "thread")
     info["env"] = environment.collect_fingerprint()
     info["telemetry_enabled"] = telemetry.is_enabled()
     if telemetry.is_enabled():

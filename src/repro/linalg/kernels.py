@@ -32,6 +32,9 @@ This module is the Python counterpart those stages dispatch through:
 Telemetry: each :func:`spmm` call bumps the ``spmm.calls`` / ``spmm.flops``
 / ``spmm.bytes`` counters, sets the ``spmm.gflops`` gauge to the call's
 achieved rate and feeds the per-block ``spmm.block_seconds`` histogram;
+:func:`spmm_chunked` additionally traces one ``spmm.chunk`` span per
+streamed row block (and counts them under ``spmm.chunks``), so out-of-core
+propagation shows up block-by-block in the unified trace;
 Cholesky-QR fallbacks count under ``linalg.cholesky_qr_fallbacks``
 (all no-ops until :func:`repro.telemetry.enable`).
 """
@@ -346,21 +349,26 @@ def spmm_chunked(
     workspace = np.empty((block_rows, cols), dtype=result_dtype)
     indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
     release = _written_page_releaser(out)
-    for r0 in range(0, rows, block_rows):
+    num_chunks = (rows + block_rows - 1) // block_rows
+    for chunk, r0 in enumerate(range(0, rows, block_rows)):
         r1 = min(rows, r0 + block_rows)
-        ptr = np.asarray(indptr[r0 : r1 + 1])
-        lo, hi = int(ptr[0]), int(ptr[-1])
-        # Zero-copy CSR window over the block's rows.
-        block = sp.csr_matrix(
-            (data[lo:hi], indices[lo:hi], ptr - lo),
-            shape=(r1 - r0, matrix.shape[1]),
-            copy=False,
-        )
-        view = workspace[: r1 - r0]
-        spmm(block, dense, out=view, workers=workers)
-        out[r0:r1] = view
-        if release is not None:
-            release(r1)
+        with telemetry.span(
+            "spmm.chunk", chunk=chunk, rows=r1 - r0, of=num_chunks
+        ):
+            ptr = np.asarray(indptr[r0 : r1 + 1])
+            lo, hi = int(ptr[0]), int(ptr[-1])
+            # Zero-copy CSR window over the block's rows.
+            block = sp.csr_matrix(
+                (data[lo:hi], indices[lo:hi], ptr - lo),
+                shape=(r1 - r0, matrix.shape[1]),
+                copy=False,
+            )
+            view = workspace[: r1 - r0]
+            spmm(block, dense, out=view, workers=workers)
+            out[r0:r1] = view
+            if release is not None:
+                release(r1)
+        telemetry.counter("spmm.chunks").inc()
     return out[:, 0] if squeeze else out
 
 

@@ -311,6 +311,9 @@ def chebyshev_gaussian_filter(
     # lx0/lx1 hold the last two Chebyshev terms, `spare` receives the next
     # one, `work` holds SPMM/axpy intermediates.  Apart from the first two
     # terms, no n×d arrays are allocated inside the loop.
+    from repro.telemetry import progress as progress_mod
+
+    progress_mod.begin("propagation", total=order - 1)
     with telemetry.span("propagation.chebyshev_term", term=0):
         lx0 = x  # read-only alias; replaced by a real buffer at the first swap
         work = product(modulated, x, alloc_like(x))
@@ -321,6 +324,7 @@ def chebyshev_gaussian_filter(
         elementwise(np.multiply, x, float(coefficients[0]), conv)
         elementwise(np.multiply, lx1, 2.0 * float(coefficients[1]), work)
         elementwise(np.subtract, conv, work, conv)
+    progress_mod.task_completed("propagation")
     sign = 1.0
     spare: Optional[np.ndarray] = None
     for i in range(2, order):
@@ -345,6 +349,7 @@ def chebyshev_gaussian_filter(
         elapsed = getattr(span, "duration", None)
         if elapsed is not None:
             telemetry.histogram("propagation.term_seconds").observe(elapsed)
+        progress_mod.task_completed("propagation")
     # One more smoothing hop through D⁻¹(A+I), as in ProNE.
     elementwise(np.subtract, x, conv, conv)
     if lx1 is not x:

@@ -135,12 +135,21 @@ def _build_shard_shm(start: int, stop: int, batch_size: int):
     """
     shard_keys = _SHARD_SHM_CTX["keys"][start:stop]
     shard_values = _SHARD_SHM_CTX["values"][start:stop]
-    table = SparseParallelHashTable(capacity_hint=max(64, shard_keys.size // 4))
-    for batch_start in range(0, shard_keys.size, batch_size):
-        batch_stop = batch_start + batch_size
-        table.add_batch(
-            shard_keys[batch_start:batch_stop], shard_values[batch_start:batch_stop]
-        )
+    # Mirrors the thread path's instrumentation; with the worker telemetry
+    # shim installed the span/metrics land in this worker's spool and merge
+    # into the parent trace on the worker's pid lane.
+    with telemetry.span(
+        "aggregate.shard", start=int(start), stop=int(stop),
+        size=int(shard_keys.size),
+    ):
+        table = SparseParallelHashTable(capacity_hint=max(64, shard_keys.size // 4))
+        for batch_start in range(0, shard_keys.size, batch_size):
+            batch_stop = batch_start + batch_size
+            table.add_batch(
+                shard_keys[batch_start:batch_stop],
+                shard_values[batch_start:batch_stop],
+            )
+    _record_table_metrics(table, "shard")
     out_keys, out_values = table.items()
     return out_keys, out_values, (
         table.size_in_bytes(), len(table), table.total_probe_rounds
@@ -185,6 +194,7 @@ def _sharded_process_items(
                 backend="process",
                 initializer=_shard_shm_attach,
                 initargs=(shm.name, total),
+                label="sparsifier.aggregation",
             )
         finally:
             # The serial fallback runs the initializer in this process; the
@@ -278,7 +288,9 @@ def aggregate_hash_sharded(
         for shard in range(num_shards):
             members = shard_of == shard
             args.append((shard, keys[members], values[members]))
-        shard_items = parallel_map(build_shard, args, workers=workers)
+        shard_items = parallel_map(
+            build_shard, args, workers=workers, label="sparsifier.aggregation"
+        )
 
     with telemetry.span("aggregate.merge", shards=num_shards):
         merged = SparseParallelHashTable(

@@ -83,17 +83,32 @@ def _walk_chunk_proc(
 ):
     """Process-pool walk task: same operation sequence as the thread path's
     ``walk_chunk`` closure (telemetry spans aside — they draw no randomness),
-    so a given ``(batch, chunk_rng)`` yields bit-identical walks."""
+    so a given ``(batch, chunk_rng)`` yields bit-identical walks.
+
+    The span/metric instrumentation mirrors ``walk_chunk`` and records into
+    the *worker's* tracer/registry (installed by the telemetry shim when
+    tracing is on); the parent merges the spool at pool shutdown, so
+    ``sparsifier.batch`` spans appear on the worker-pid lanes of the unified
+    trace.  With telemetry off these are the usual gated no-ops.
+    """
     src = _SAMPLE_CTX["src"]
     dst = _SAMPLE_CTX["dst"]
     probs = _SAMPLE_CTX["probs"]
-    lengths = chunk_rng.integers(1, _SAMPLE_CTX["window"] + 1, size=batch.size)
-    flip = chunk_rng.random(batch.size) < 0.5
-    s_u = np.where(flip, dst[batch], src[batch])
-    s_v = np.where(flip, src[batch], dst[batch])
-    u_prime, v_prime = path_sample_pairs(
-        _SAMPLE_CTX["graph"], s_u, s_v, lengths, chunk_rng
-    )
+    with telemetry.span(
+        "sparsifier.batch", batch=index, size=int(batch.size)
+    ) as span:
+        lengths = chunk_rng.integers(1, _SAMPLE_CTX["window"] + 1, size=batch.size)
+        flip = chunk_rng.random(batch.size) < 0.5
+        s_u = np.where(flip, dst[batch], src[batch])
+        s_v = np.where(flip, src[batch], dst[batch])
+        u_prime, v_prime = path_sample_pairs(
+            _SAMPLE_CTX["graph"], s_u, s_v, lengths, chunk_rng
+        )
+    elapsed = getattr(span, "duration", None)
+    if elapsed is not None:
+        telemetry.histogram("sparsifier.batch_seconds").observe(elapsed)
+        telemetry.counter("sparsifier.batches").inc()
+        telemetry.counter("sparsifier.walk_samples").inc(batch.size)
     return u_prime, v_prime, 1.0 / probs[batch]
 
 
@@ -339,9 +354,12 @@ def sample_sparsifier_edges(
             backend="process",
             initializer=_sample_worker_init,
             initargs=(graph_spec, config),
+            label="sparsifier.sampling",
         )
     else:
-        results = parallel_map(walk_chunk, args, workers=workers)
+        results = parallel_map(
+            walk_chunk, args, workers=workers, label="sparsifier.sampling"
+        )
     telemetry.counter("sparsifier.draws").inc(total_draws)
     return (
         np.concatenate([r[0] for r in results]),

@@ -9,7 +9,15 @@ The observability substrate for the whole pipeline (see
 * **Metrics** (:mod:`repro.telemetry.metrics`) — counters, gauges and
   fixed-bucket histograms in a snapshot-able registry;
 * **Memory** (:mod:`repro.telemetry.memory`) — a background RSS /
-  ``tracemalloc`` peak sampler attachable to any span.
+  ``tracemalloc`` peak sampler attachable to any span;
+* **Workers** (:mod:`repro.telemetry.worker`) — the cross-process layer:
+  pool workers spool their spans/metrics/memory to per-worker JSONL files
+  and emit heartbeats; the parent merges the spools into the main tracer
+  and registry (clock-corrected, per-pid Perfetto lanes) and flags stalled
+  workers (``REPRO_STALL_TIMEOUT_S``);
+* **Progress** (:mod:`repro.telemetry.progress`) — single-line terminal
+  progress driven by task completions and worker heartbeats (the CLI's
+  ``--progress`` flag).
 
 On top of the substrate sits the *persistence* layer:
 
@@ -72,6 +80,11 @@ from repro.telemetry.memory import (
 from repro.telemetry.environment import collect_fingerprint, fingerprint_key
 from repro.telemetry.ledger import RunLedger, RunRecord
 
+# Submodules imported for attribute access (telemetry.progress.enable()
+# etc.); ``worker`` must come after ``progress``, which it imports.
+from repro.telemetry import progress
+from repro.telemetry import worker
+
 __all__ = [
     # tracer
     "Span",
@@ -106,4 +119,7 @@ __all__ = [
     "fingerprint_key",
     "RunLedger",
     "RunRecord",
+    # cross-process layer
+    "progress",
+    "worker",
 ]

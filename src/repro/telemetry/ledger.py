@@ -363,6 +363,61 @@ def _peak_rss(metrics: Mapping[str, object]) -> Optional[int]:
     return int(peak) if peak is not None else None
 
 
+WORKER_SECONDS_PREFIX = "worker.seconds."
+
+
+def _worker_stage_seconds(metrics: Mapping[str, object]) -> Dict[str, float]:
+    """Merged worker span-seconds, keyed ``worker.<span name>``.
+
+    These come from the cross-process spool merge
+    (:func:`repro.telemetry.worker.merge_spools` publishes per-span-name
+    ``worker.seconds.*`` counters) and are recorded as *extra* stage rows —
+    never folded into ``total_s``, which stays the parent's wall-clock sum
+    (worker seconds overlap it).
+    """
+    counters = metrics.get("counters", {})
+    stages: Dict[str, float] = {}
+    if isinstance(counters, Mapping):
+        for name, value in counters.items():
+            if not str(name).startswith(WORKER_SECONDS_PREFIX):
+                continue
+            try:
+                seconds = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+            stages[f"worker.{str(name)[len(WORKER_SECONDS_PREFIX):]}"] = seconds
+    return stages
+
+
+def _worker_memory_extra(metrics: Mapping[str, object]) -> Dict[str, object]:
+    """Per-worker peak memory gauges, compacted for the ``extra`` field."""
+    gauges = metrics.get("gauges", {})
+    out: Dict[str, object] = {}
+    if not isinstance(gauges, Mapping):
+        return out
+    peaks: List[Tuple[int, int]] = []
+    for name, reading in gauges.items():
+        name = str(name)
+        if not (
+            name.startswith("parallel.worker.")
+            and name.endswith(".rss_peak_bytes")
+        ):
+            continue
+        if not isinstance(reading, Mapping) or reading.get("max") is None:
+            continue
+        try:
+            index = int(name.split(".")[2])
+            peaks.append((index, int(reading["max"])))  # type: ignore[arg-type]
+        except (TypeError, ValueError, IndexError):
+            continue
+    if peaks:
+        out["worker_rss_peak_bytes"] = [v for _, v in sorted(peaks)]
+    fleet = gauges.get("parallel.worker_rss_peak_bytes")
+    if isinstance(fleet, Mapping) and fleet.get("max") is not None:
+        out["worker_rss_peak_max_bytes"] = int(fleet["max"])  # type: ignore[arg-type]
+    return out
+
+
 def build_record(
     result,
     *,
@@ -377,6 +432,10 @@ def build_record(
     Stage timings come from the result's ``StageTimer`` in the **registry's
     declared stage order** (Table 5 columns), so cross-run diffs line up
     column-for-column regardless of the order stages happened to execute.
+    Process-backend runs with telemetry on additionally carry merged worker
+    stage-seconds as ``worker.<name>`` stage rows and per-worker peak RSS
+    under ``extra``; the resolved worker count and backend are recorded in
+    ``extra`` for *every* run, telemetry or not.
     """
     info = dict(getattr(result, "info", {}) or {})
     env = info.get("env") or collect_fingerprint()
@@ -386,13 +445,34 @@ def build_record(
         snapshot = telemetry_info.get("metrics")
         if isinstance(snapshot, Mapping):
             raw_metrics = compact_metrics(snapshot)
+    params = dict(info.get("params") or {})
     order = _registry_stage_order(result.method)
-    stages = result.timer.ordered_stages(order)
+    stages = {
+        name: float(secs)
+        for name, secs in result.timer.ordered_stages(order).items()
+    }
+    stages.update(_worker_stage_seconds(raw_metrics))
+    record_extra = dict(extra or {})
+    record_extra.update(_worker_memory_extra(raw_metrics))
+    if "backend" not in record_extra:
+        record_extra["backend"] = str(
+            info.get("resolved_backend") or params.get("backend") or "thread"
+        )
+    if "resolved_workers" not in record_extra:
+        resolved = info.get("resolved_workers")
+        if resolved is None:
+            if "workers" in params:
+                from repro.utils.parallel import default_workers
+
+                resolved = params["workers"] or default_workers()
+            else:
+                resolved = 1
+        record_extra["resolved_workers"] = int(resolved)
     return RunRecord(
         method=result.method,
         dataset=dataset or current_dataset() or "unknown",
-        params=dict(info.get("params") or {}),
-        stages={name: float(secs) for name, secs in stages.items()},
+        params=params,
+        stages=stages,
         total_s=float(result.timer.total),
         seed=seed if isinstance(seed, int) else None,
         env=dict(env),
@@ -400,7 +480,7 @@ def build_record(
         quality=dict(quality or {}),
         peak_rss_bytes=_peak_rss(raw_metrics),
         context=context,
-        extra=dict(extra or {}),
+        extra=record_extra,
     )
 
 

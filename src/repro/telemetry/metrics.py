@@ -28,7 +28,7 @@ import math
 import os
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 # Latency buckets in seconds: sub-millisecond through a minute, roughly
 # geometric.  Wide enough for per-batch sampling and per-iteration SVD times.
@@ -171,6 +171,41 @@ class Histogram:
                 "mean": self._sum / self._count if self._count else None,
             }
 
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        The cross-process aggregation primitive: worker registries snapshot
+        their histograms into the spool and the parent merges them
+        bucket-wise.  Bucket bounds must match exactly (same instrument name
+        implies same bounds under the fixed-bucket scheme); a mismatch
+        raises rather than silently misbinning.
+        """
+        bounds = tuple(float(b) for b in (snapshot.get("buckets") or ()))
+        if bounds != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds "
+                f"{bounds} != {self.buckets}"
+            )
+        counts = list(snapshot.get("counts") or ())
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: {len(counts)} bucket "
+                f"counts != {len(self.counts)}"
+            )
+        other_count = int(snapshot.get("count") or 0)
+        other_sum = float(snapshot.get("sum") or 0.0)
+        other_min = snapshot.get("min")
+        other_max = snapshot.get("max")
+        with self._lock:
+            for idx, value in enumerate(counts):
+                self.counts[idx] += int(value)
+            self._count += other_count
+            self._sum += other_sum
+            if other_min is not None and float(other_min) < self._min:
+                self._min = float(other_min)
+            if other_max is not None and float(other_max) > self._max:
+                self._max = float(other_max)
+
 
 class _NullInstrument:
     """Shared no-op counter/gauge/histogram for disabled telemetry."""
@@ -264,6 +299,48 @@ class MetricsRegistry:
         from repro.utils.fileio import atomic_write_json
 
         atomic_write_json(path, self.snapshot(), indent=2)
+
+    def merge_snapshot(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The parent-side half of cross-process metric aggregation, with the
+        semantics each instrument kind calls for: counters **sum** (totals
+        across processes), gauges take the **max** (peak semantics — the
+        interesting gauges are peaks; a worker's last load factor is not
+        meaningfully "later" than the parent's), histograms merge
+        **bucket-wise**.  A malformed instrument is skipped with a warning
+        instead of poisoning the rest of the merge.
+        """
+        from repro.utils.log import get_logger
+
+        logger = get_logger(__name__)
+        for name, value in dict(snapshot.get("counters") or {}).items():
+            try:
+                amount = float(value)  # convert first: no instrument on failure
+                self.counter(str(name)).inc(amount)
+            except (TypeError, ValueError) as exc:
+                logger.warning("metrics merge: counter %r skipped (%s)", name, exc)
+        for name, reading in dict(snapshot.get("gauges") or {}).items():
+            if not isinstance(reading, Mapping):
+                continue
+            value = reading.get("max")
+            if value is None:
+                value = reading.get("value")
+            if value is None:
+                continue
+            try:
+                peak = float(value)
+                self.gauge(str(name)).set_max(peak)
+            except (TypeError, ValueError) as exc:
+                logger.warning("metrics merge: gauge %r skipped (%s)", name, exc)
+        for name, hist in dict(snapshot.get("histograms") or {}).items():
+            if not isinstance(hist, Mapping):
+                continue
+            bounds = tuple(hist.get("buckets") or DEFAULT_LATENCY_BUCKETS)
+            try:
+                self.histogram(str(name), bounds).merge(hist)
+            except (TypeError, ValueError) as exc:
+                logger.warning("metrics merge: histogram %r skipped (%s)", name, exc)
 
     def reset(self) -> None:
         """Drop every instrument (fresh registry state)."""

@@ -198,7 +198,10 @@ def flame_boxes(trace: Mapping[str, object]) -> List[Dict[str, object]]:
 
     Each ``"X"`` (complete) event becomes one box with ``left``/``width``
     as percentages of the trace extent and ``depth`` from nesting (computed
-    per thread by interval containment on the sorted event stream).
+    per lane by interval containment on the sorted event stream).  Lanes are
+    keyed by ``(pid, tid)`` — merged cross-process traces reuse thread idents
+    across workers, so grouping by tid alone would interleave unrelated
+    processes into one bogus nesting stack.
     """
     events = [
         e
@@ -211,13 +214,15 @@ def flame_boxes(trace: Mapping[str, object]) -> List[Dict[str, object]]:
     t1 = max(float(e["ts"]) + float(e["dur"]) for e in events)
     extent = max(t1 - t0, 1e-9)
     boxes: List[Dict[str, object]] = []
-    by_tid: Dict[object, List[dict]] = {}
+    by_lane: Dict[Tuple[object, object], List[dict]] = {}
     for event in events:
-        by_tid.setdefault(event.get("tid"), []).append(event)
-    for tid, tid_events in sorted(by_tid.items(), key=lambda kv: str(kv[0])):
-        tid_events.sort(key=lambda e: (float(e["ts"]), -float(e["dur"])))
+        by_lane.setdefault((event.get("pid"), event.get("tid")), []).append(event)
+    for (pid, tid), lane_events in sorted(
+        by_lane.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+    ):
+        lane_events.sort(key=lambda e: (float(e["ts"]), -float(e["dur"])))
         stack: List[Tuple[float, float]] = []  # (start, end) per open level
-        for event in tid_events:
+        for event in lane_events:
             start = float(event["ts"])
             end = start + float(event["dur"])
             while stack and start >= stack[-1][1] - 1e-9:
@@ -227,6 +232,7 @@ def flame_boxes(trace: Mapping[str, object]) -> List[Dict[str, object]]:
             boxes.append(
                 {
                     "name": str(event.get("name", "?")),
+                    "pid": pid,
                     "tid": tid,
                     "depth": depth,
                     "left": 100.0 * (start - t0) / extent,
@@ -334,7 +340,10 @@ def _flame_html(trace: Mapping[str, object]) -> str:
     divs = []
     for box in boxes:
         color = _PALETTE[hash(box["name"]) % len(_PALETTE)]
-        title = f"{box['name']} — {box['dur_ms']:.3f} ms"
+        title = (
+            f"{box['name']} — {box['dur_ms']:.3f} ms "
+            f"(pid {box.get('pid')}, tid {box.get('tid')})"
+        )
         divs.append(
             f'<div style="left:{box["left"]:.3f}%;width:{box["width"]:.3f}%;'
             f'top:{int(box["depth"]) * 18 + 2}px;background:{color}" '

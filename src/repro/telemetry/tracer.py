@@ -59,7 +59,7 @@ class Span:
 
     __slots__ = (
         "tracer", "name", "span_id", "parent", "start", "end",
-        "thread_id", "thread_name", "attributes", "children",
+        "pid", "thread_id", "thread_name", "attributes", "children",
         "_explicit_parent",
     )
 
@@ -77,6 +77,7 @@ class Span:
         self._explicit_parent = parent
         self.start: float = 0.0
         self.end: Optional[float] = None
+        self.pid = 0
         self.thread_id = 0
         self.thread_name = ""
         self.attributes: Dict[str, object] = dict(attributes or {})
@@ -85,6 +86,7 @@ class Span:
     # ------------------------------------------------------------- lifecycle
     def __enter__(self) -> "Span":
         thread = threading.current_thread()
+        self.pid = os.getpid()
         self.thread_id = thread.ident or 0
         self.thread_name = thread.name
         if self._explicit_parent is _UNSET:
@@ -167,9 +169,13 @@ class Tracer:
         self._finished = 0
         self._listeners: List[Callable[[Span], None]] = []
         # Epochs pair a wall-clock anchor with the perf_counter origin so
-        # exported timestamps are stable within the trace.
+        # exported timestamps are stable within the trace — and so spool
+        # merging can map a worker's monotonic clock onto this tracer's
+        # (see repro.telemetry.worker.clock_offset).
         self.epoch_wall = time.time()
         self.epoch_perf = time.perf_counter()
+        # Human-readable Perfetto lane names, keyed by OS pid.
+        self.process_labels: Dict[int, str] = {os.getpid(): "main"}
 
     # ---------------------------------------------------------- span control
     def span(self, name: str, parent: object = _UNSET, **attributes: object) -> Span:
@@ -191,6 +197,50 @@ class Tracer:
         """Invoke ``callback(span)`` whenever a span finishes (JSONL sinks)."""
         with self._lock:
             self._listeners.append(callback)
+
+    def set_process_label(self, pid: int, label: str) -> None:
+        """Name the Perfetto lane of ``pid`` (``process_name`` metadata)."""
+        with self._lock:
+            self.process_labels[int(pid)] = label
+
+    def add_merged_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        pid: int,
+        tid: int = 0,
+        thread_name: str = "",
+        attributes: Optional[Dict[str, object]] = None,
+        parent: Optional[Span] = None,
+    ) -> Span:
+        """Register an already-finished span recorded in another process.
+
+        The spool merger uses this to graft worker span trees into the
+        parent's trace: timestamps must already be expressed on *this*
+        tracer's ``perf_counter`` timeline (see
+        :func:`repro.telemetry.worker.clock_offset`).  The span is appended
+        to the tree and counted as finished, but never touches any thread's
+        current-span stack and notifies no listeners (it was already
+        streamed once, in the worker).
+        """
+        span = Span(self, name, parent=parent, attributes=attributes)
+        span.parent = parent
+        span.start = float(start)
+        span.end = float(end)
+        span.pid = int(pid)
+        span.thread_id = int(tid)
+        span.thread_name = thread_name
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            if parent is None:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+            self._finished += 1
+        return span
 
     def _push(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)
@@ -260,13 +310,21 @@ class Tracer:
 
     # ------------------------------------------------------------- exporters
     def to_chrome_trace(self) -> dict:
-        """The trace in Chrome trace-event format (Perfetto-loadable)."""
-        pid = os.getpid()
+        """The trace in Chrome trace-event format (Perfetto-loadable).
+
+        Spans carry the pid of the process that recorded them (merged
+        worker spans keep their worker pid), so a cross-process trace
+        renders as one lane group per process.  ``process_name`` /
+        ``thread_name`` metadata events label every (pid, tid) lane —
+        Perfetto shows "main" / "worker (pid N)" instead of raw numbers.
+        """
+        own_pid = os.getpid()
         now = time.perf_counter()
         events: List[dict] = []
-        threads: Dict[int, str] = {}
+        threads: Dict[tuple, str] = {}
         for span in self.iter_spans():
             end = span.end if span.end is not None else now
+            pid = span.pid or own_pid
             events.append(
                 {
                     "name": span.name,
@@ -281,8 +339,33 @@ class Tracer:
                     },
                 }
             )
-            threads.setdefault(span.thread_id, span.thread_name)
-        metadata = [
+            threads.setdefault((pid, span.thread_id), span.thread_name)
+        with self._lock:
+            labels = dict(self.process_labels)
+        pids = sorted({pid for pid, _ in threads} | {own_pid})
+        metadata: List[dict] = []
+        for index, pid in enumerate(pids):
+            label = labels.get(pid) or (
+                "main" if pid == own_pid else f"worker (pid {pid})"
+            )
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": label},
+                }
+            )
+            # Keep the parent process on top in Perfetto's lane ordering.
+            metadata.append(
+                {
+                    "name": "process_sort_index",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"sort_index": 0 if pid == own_pid else index + 1},
+                }
+            )
+        metadata.extend(
             {
                 "name": "thread_name",
                 "ph": "M",
@@ -290,8 +373,8 @@ class Tracer:
                 "tid": tid,
                 "args": {"name": tname or f"thread-{tid}"},
             }
-            for tid, tname in sorted(threads.items())
-        ]
+            for (pid, tid), tname in sorted(threads.items())
+        )
         return {
             "traceEvents": metadata + events,
             "displayTimeUnit": "ms",
@@ -324,6 +407,7 @@ class Tracer:
                 "parent_id": None if span.parent is None else span.parent.span_id,
                 "start_s": span.start - self.epoch_perf,
                 "duration_s": span.duration,
+                "pid": span.pid or os.getpid(),
                 "thread": span.thread_name or str(span.thread_id),
                 "attributes": {
                     k: _json_safe(v) for k, v in span.attributes.items()

@@ -25,6 +25,15 @@ not-yet-started task is cancelled, the pool is torn down, and the original
 exception is re-raised.  Earlier versions collected futures strictly in
 submission order, so a failure in task 0 still let tasks 1..N-1 run to
 completion before the exception surfaced.
+
+Observability: when telemetry or progress rendering is enabled, a
+process-backend ``parallel_map`` transparently installs the cross-process
+telemetry shim (:mod:`repro.telemetry.worker`) in every worker — worker
+spans/metrics/memory spool to per-worker files and are merged into the
+parent tracer/registry when the pool finishes, and worker heartbeats feed
+a stall detector.  ``label`` names the stage for progress lines, stall
+warnings and worker Perfetto lanes; with telemetry off and no progress the
+whole machinery is skipped (one gated call).
 """
 
 from __future__ import annotations
@@ -89,6 +98,19 @@ def chunk_ranges(total: int, chunks: int) -> List[Tuple[int, int]]:
     return ranges
 
 
+def _attach_progress(futures, label: Optional[str]) -> None:
+    """Feed parent-side task completions into the progress renderer."""
+    if label is None:
+        return
+    from repro.telemetry import progress
+
+    if not progress.is_enabled():
+        return
+    progress.begin(label, total=len(futures))
+    for future in futures:
+        future.add_done_callback(lambda _f: progress.task_completed(label))
+
+
 def _collect_fail_fast(pool, futures) -> List[T]:
     """Results in submission order; on first failure cancel the rest, re-raise.
 
@@ -117,6 +139,7 @@ def parallel_map(
     backend: str = "thread",
     initializer: Optional[Callable[..., None]] = None,
     initargs: tuple = (),
+    label: Optional[str] = None,
 ) -> List[T]:
     """Apply ``func(*args)`` for every tuple, serially or on a worker pool.
 
@@ -136,6 +159,12 @@ def parallel_map(
         path calls it inline).  The process backend uses this to ship
         per-worker context — e.g. a memmap path reopened in each child —
         once per worker instead of once per task.
+    label:
+        Stage name for observability: progress lines (``--progress``),
+        stall-detector warnings and worker trace lanes.  ``None`` opts the
+        call out of progress rendering (telemetry spooling still engages
+        for process pools when tracing is on, under the generic
+        ``"parallel"`` label).
     """
     backend = resolve_backend(backend)
     if workers is None:
@@ -145,15 +174,40 @@ def parallel_map(
             initializer(*initargs)
         return [func(*args) for args in argument_tuples]
     if backend == "process":
+        # Cross-process telemetry: with tracing or progress on, chain the
+        # worker shim in front of the caller's initializer, wrap each task
+        # so workers account completions, and merge the spools afterwards.
+        from repro.telemetry import worker as worker_telemetry
+
+        collector = worker_telemetry.maybe_collector(label, len(argument_tuples))
+        if collector is not None:
+            initializer, initargs = collector.initializer(initializer, initargs)
         pool = ProcessPoolExecutor(
             max_workers=min(workers, len(argument_tuples)),
             initializer=initializer,
             initargs=initargs,
         )
-    else:
-        pool = ThreadPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        )
+        try:
+            with pool:
+                if collector is not None:
+                    collector.start()
+                    futures = [
+                        pool.submit(worker_telemetry.run_task, func, tuple(args))
+                        for args in argument_tuples
+                    ]
+                else:
+                    futures = [
+                        pool.submit(func, *args) for args in argument_tuples
+                    ]
+                _attach_progress(futures, label)
+                return _collect_fail_fast(pool, futures)
+        finally:
+            if collector is not None:
+                collector.finish()
+    pool = ThreadPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    )
     with pool:
         futures = [pool.submit(func, *args) for args in argument_tuples]
+        _attach_progress(futures, label)
         return _collect_fail_fast(pool, futures)

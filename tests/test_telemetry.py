@@ -160,7 +160,8 @@ class TestExporters:
         complete = [e for e in events if e["ph"] == "X"]
         metadata = [e for e in events if e["ph"] == "M"]
         assert {e["name"] for e in complete} == {"root", "leaf"}
-        assert metadata and metadata[0]["name"] == "thread_name"
+        meta_names = {e["name"] for e in metadata}
+        assert {"process_name", "thread_name"} <= meta_names
         leaf = next(e for e in complete if e["name"] == "leaf")
         assert leaf["args"]["batch"] == 3
         assert leaf["dur"] >= 0.0
