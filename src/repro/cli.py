@@ -96,7 +96,7 @@ def _load_graph(args: argparse.Namespace):
 # dataclass defaults for everything else.
 _KNOB_ARGS = (
     "window", "multiplier", "propagate", "downsample", "workers", "backend",
-    "precision", "batch_size",
+    "precision", "sparsifier", "batch_size",
 )
 
 
@@ -172,7 +172,6 @@ def _cmd_eval_lp(args: argparse.Namespace) -> int:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     """Replay a graph as an edge stream with a dynamic embedder (§6 demo)."""
-    from repro.embedding import LightNEParams
     from repro.streaming import DynamicEmbedder, RefreshPolicy, edge_stream_from_graph
 
     graph, _ = _load_graph(args)
@@ -183,11 +182,20 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         churn=args.churn,
         seed=args.seed,
     )
+    try:
+        # strict=False: the stream knobs carry concrete defaults, so knobs a
+        # method does not support are dropped instead of erroring.
+        params = make_params(
+            args.method, strict=False, dimension=args.dim, window=args.window,
+            multiplier=args.multiplier, workers=args.workers,
+            sparsifier=getattr(args, "sparsifier", None),
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
     embedder = DynamicEmbedder(
         initial,
-        LightNEParams(dimension=args.dim, window=args.window,
-                      sample_multiplier=args.multiplier,
-                      workers=args.workers),
+        params,
+        method=args.method,
         policy=RefreshPolicy(max_pending_fraction=args.refresh_fraction),
         seed=args.seed,
     )
@@ -362,6 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
                      "peak memory), 'double' is the bit-exact legacy path "
                      "(default: the method's own)",
             )
+        if "sparsifier" in offered:
+            from repro.sparsifier.backends import sparsifier_backend_names
+
+            p.add_argument(
+                "--sparsifier", choices=sparsifier_backend_names(),
+                default=None,
+                help="sparsifier backend building the count matrix: 'path' "
+                     "(the paper's downsampled PathSampling, default) or "
+                     "'ppr' (PSNE-style push-based PPR proximity); both are "
+                     "deterministic per (seed, batch-size) at every worker "
+                     "count and on both --backend substrates",
+            )
         p.add_argument(
             "--batch-size", dest="batch_size", type=int, default=None,
             help="samples per parallel sampling batch (methods with a "
@@ -399,9 +419,21 @@ def build_parser() -> argparse.ArgumentParser:
         "stream", help="dynamic embedding demo over a replayed edge stream"
     )
     add_common(p_stream)
+    p_stream.add_argument(
+        "--method", choices=method_names(), default="lightne",
+        help="embedding method re-run at every refresh (full params "
+             "forwarded, sparsifier backend included)",
+    )
     p_stream.add_argument("--dim", type=int, default=32)
     p_stream.add_argument("--window", type=int, default=5)
     p_stream.add_argument("--multiplier", type=float, default=2.0)
+    from repro.sparsifier.backends import sparsifier_backend_names as _sbn
+
+    p_stream.add_argument(
+        "--sparsifier", choices=_sbn(), default=None,
+        help="sparsifier backend used at every refresh (methods with the "
+             "sparsifier knob)",
+    )
     p_stream.add_argument("--batches", type=int, default=5)
     p_stream.add_argument("--initial-fraction", type=float, default=0.5)
     p_stream.add_argument("--churn", type=float, default=0.0)

@@ -32,10 +32,8 @@ from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
 from repro.linalg.spectral import spectral_propagation
-from repro.sparsifier.builder import (
-    build_netmf_sparsifier,
-    sparsifier_to_netmf_matrix,
-)
+from repro.sparsifier.backends import build_sparsifier
+from repro.sparsifier.builder import sparsifier_to_netmf_matrix
 from repro.sparsifier.path_sampling import PathSamplingConfig
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike
@@ -72,6 +70,12 @@ class LightNEParams:
     aggregator:
         ``"hash"`` (shared sparse parallel hashing, the paper's choice),
         ``"hash-sharded"`` (per-processor tables, merged) or ``"sort"``.
+    sparsifier:
+        Sparsifier backend building the count matrix: ``"path"`` (default,
+        the paper's downsampled PathSampling — bit-identical to the
+        pre-backend-layer pipeline) or ``"ppr"`` (PSNE-style push-based PPR
+        proximity; same estimator contract, deterministic walk mass instead
+        of Monte-Carlo draws).  See :mod:`repro.sparsifier.backends`.
     workers:
         Thread-pool width for sparsifier construction *and* the dense-stage
         SPMMs (randomized SVD, spectral propagation); ``None`` (default)
@@ -108,6 +112,7 @@ class LightNEParams:
     mu: float = 0.2
     theta: float = 0.5
     aggregator: str = "hash"
+    sparsifier: str = "path"
     workers: Optional[int] = None
     backend: str = "thread"
     precision: str = "double"
@@ -157,8 +162,10 @@ def _lightne_body(ctx: PipelineContext):
     ctx.span.set_attribute("window", params.window)
     ctx.span.set_attribute("sample_multiplier", params.sample_multiplier)
     ctx.span.set_attribute("aggregator", params.aggregator)
-    sparsifier = build_netmf_sparsifier(
-        graph, config, ctx.rng, aggregator=params.aggregator, timer=ctx.timer,
+    ctx.span.set_attribute("sparsifier", params.sparsifier)
+    sparsifier = build_sparsifier(
+        graph, config, ctx.rng, sparsifier=params.sparsifier,
+        aggregator=params.aggregator, timer=ctx.timer,
         workers=params.workers, backend=params.backend,
         batch_size=params.batch_size,
     )
@@ -200,6 +207,7 @@ def _lightne_body(ctx: PipelineContext):
             "window": params.window,
             "sample_multiplier": params.sample_multiplier,
             "num_draws": sparsifier.num_draws,
+            "sparsifier": params.sparsifier,
             "sparsifier_nnz": sparsifier.nnz,
             "downsample": params.downsample,
             "propagated": params.propagate,

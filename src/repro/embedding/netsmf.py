@@ -21,10 +21,8 @@ from repro.embedding.base import (
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
-from repro.sparsifier.builder import (
-    build_netmf_sparsifier,
-    sparsifier_to_netmf_matrix,
-)
+from repro.sparsifier.backends import build_sparsifier
+from repro.sparsifier.builder import sparsifier_to_netmf_matrix
 from repro.sparsifier.path_sampling import PathSamplingConfig
 from repro.utils.rng import SeedLike
 
@@ -48,6 +46,10 @@ class NetSMFParams:
     aggregator:
         ``"sort"`` mimics NetSMF's merge-at-end; ``"hash"`` /
         ``"hash-sharded"`` available too.
+    sparsifier:
+        Sparsifier backend: ``"path"`` (default, the Monte-Carlo
+        PathSampling pipeline) or ``"ppr"`` (push-based PPR proximity);
+        see :mod:`repro.sparsifier.backends`.
     workers:
         Thread-pool width for sampling and the SVD's SPMMs
         (``None`` = ``default_workers()``); bit-identical at every width.
@@ -66,6 +68,7 @@ class NetSMFParams:
     sample_multiplier: float = 1.0
     negative_samples: float = 1.0
     aggregator: str = "sort"
+    sparsifier: str = "path"
     workers: Optional[int] = None
     backend: str = "thread"
     precision: str = "double"
@@ -80,8 +83,9 @@ def _netsmf_body(ctx: PipelineContext):
         ),
         downsample=False,
     )
-    result = build_netmf_sparsifier(
-        graph, config, ctx.rng, aggregator=params.aggregator, timer=ctx.timer,
+    result = build_sparsifier(
+        graph, config, ctx.rng, sparsifier=params.sparsifier,
+        aggregator=params.aggregator, timer=ctx.timer,
         workers=params.workers, backend=params.backend,
     )
     with ctx.timer.stage("svd"):
@@ -97,6 +101,7 @@ def _netsmf_body(ctx: PipelineContext):
         {
             "window": params.window,
             "num_draws": result.num_draws,
+            "sparsifier": params.sparsifier,
             "sparsifier_nnz": result.nnz,
             "sample_multiplier": params.sample_multiplier,
         }

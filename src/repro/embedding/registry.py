@@ -52,6 +52,7 @@ _KNOB_CAPABILITY: Dict[str, str] = {
     "propagate": "supports_propagate",
     "downsample": "supports_downsample",
     "precision": "supports_precision",
+    "sparsifier": "supports_sparsifier",
 }
 _KNOB_FIELD: Dict[str, str] = {"multiplier": "sample_multiplier"}
 
@@ -79,12 +80,14 @@ class MethodSpec:
     stages:
         The Table-5 stage names this method records on its ``StageTimer``.
     supports_window / supports_workers / supports_multiplier /
-    supports_propagate / supports_downsample / supports_precision:
+    supports_propagate / supports_downsample / supports_precision /
+    supports_sparsifier:
         Capability flags gating the generic knobs shared across dispatch
         layers; unsupported knobs are rejected (``strict=True``) or dropped
         (``strict=False``) by :func:`make_params`.  ``precision`` selects
         the dense-kernel dtype policy (``"double"``/``"single"``) of
-        :mod:`repro.linalg.kernels`.
+        :mod:`repro.linalg.kernels`; ``sparsifier`` selects the count-matrix
+        backend (``"path"``/``"ppr"``) of :mod:`repro.sparsifier.backends`.
     """
 
     name: str
@@ -100,6 +103,7 @@ class MethodSpec:
     supports_propagate: bool = False
     supports_downsample: bool = False
     supports_precision: bool = False
+    supports_sparsifier: bool = False
 
     def supports(self, knob: str) -> bool:
         """Whether the generic ``knob`` applies to this method."""
@@ -116,6 +120,7 @@ class MethodSpec:
             "propagate": self.supports_propagate,
             "downsample": self.supports_downsample,
             "precision": self.supports_precision,
+            "sparsifier": self.supports_sparsifier,
         }
 
     @property
@@ -248,6 +253,7 @@ register(
         supports_propagate=True,
         supports_downsample=True,
         supports_precision=True,
+        supports_sparsifier=True,
     )
 )
 register(
@@ -261,6 +267,7 @@ register(
         supports_workers=True,
         supports_multiplier=True,
         supports_precision=True,
+        supports_sparsifier=True,
     )
 )
 register(

@@ -28,6 +28,10 @@ class SamplingError(ReproError):
     """Invalid parameters for the PathSampling / downsampling stage."""
 
 
+class UnsupportedGraphError(ReproError):
+    """The graph shape/weighting is outside what a sparsifier backend serves."""
+
+
 class HashTableFullError(ReproError):
     """The open-addressing hash table ran out of free slots."""
 

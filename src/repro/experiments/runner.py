@@ -40,6 +40,7 @@ def dispatch_method(
     downsample: bool = True,
     workers: Optional[int] = None,
     precision: Optional[str] = None,
+    sparsifier: Optional[str] = None,
     seed: int = DEFAULT_SEED,
 ) -> EmbeddingResult:
     """Run one named method with the harness-level knobs.
@@ -48,7 +49,9 @@ def dispatch_method(
     paper tables' spellings ``prone+`` and ``graphvite`` are registered
     aliases).  The knob set is shared across methods, so knobs a method does
     not support are dropped (``strict=False``); unknown method names raise
-    :class:`repro.errors.UnknownMethodError`.
+    :class:`repro.errors.UnknownMethodError`.  ``sparsifier`` selects the
+    count-matrix backend (``"path"``/``"ppr"``) on the methods that expose
+    it (lightne, netsmf).
     """
     return run_method(
         method,
@@ -62,6 +65,7 @@ def dispatch_method(
         downsample=downsample,
         workers=workers,
         precision=precision,
+        sparsifier=sparsifier,
     )
 
 

@@ -9,6 +9,7 @@ lists, and a vectorized random-walk engine.
 from repro.graph.csr import CSRGraph
 from repro.graph.compression import CompressedGraph, compress_graph
 from repro.graph.builders import (
+    from_bipartite_edges,
     from_edges,
     from_scipy,
     to_scipy,
@@ -58,6 +59,7 @@ __all__ = [
     "CSRGraph",
     "CompressedGraph",
     "compress_graph",
+    "from_bipartite_edges",
     "from_edges",
     "from_scipy",
     "to_scipy",

@@ -110,6 +110,55 @@ def _csr_from_directed(
     return CSRGraph(offsets, u_dst, u_wts)
 
 
+def from_bipartite_edges(
+    left_sources,
+    right_targets,
+    weights=None,
+    *,
+    num_left: Optional[int] = None,
+    num_right: Optional[int] = None,
+) -> CSRGraph:
+    """Build the union graph of a bipartite edge set.
+
+    Left vertices keep their ids ``[0, num_left)``; right vertex ``j`` is
+    relabeled to ``num_left + j``, giving one undirected graph over
+    ``num_left + num_right`` vertices whose every edge crosses the
+    partition — the standard embedding-friendly encoding of user–item /
+    author–paper graphs (all walk-based proximities then alternate sides).
+    The counts default to ``max id + 1`` per side.  Downstream consumers
+    slice embeddings as ``vectors[:num_left]`` / ``vectors[num_left:]``.
+    """
+    left = np.asarray(left_sources, dtype=np.int64).ravel()
+    right = np.asarray(right_targets, dtype=np.int64).ravel()
+    if left.shape != right.shape:
+        raise GraphConstructionError(
+            f"left and right endpoint arrays differ in length: "
+            f"{left.size} vs {right.size}"
+        )
+    if left.size and (left.min() < 0 or right.min() < 0):
+        raise GraphConstructionError("vertex ids must be non-negative")
+    if num_left is None:
+        num_left = int(left.max(initial=-1) + 1)
+    elif left.size and left.max() >= num_left:
+        raise GraphConstructionError(
+            "num_left is smaller than the largest left vertex id + 1"
+        )
+    if num_right is None:
+        num_right = int(right.max(initial=-1) + 1)
+    elif right.size and right.max() >= num_right:
+        raise GraphConstructionError(
+            "num_right is smaller than the largest right vertex id + 1"
+        )
+    return from_edges(
+        left,
+        right + num_left,
+        weights,
+        num_vertices=num_left + num_right,
+        symmetrize=True,
+        drop_self_loops=False,  # sides are disjoint; no loops possible
+    )
+
+
 def from_scipy(matrix: sp.spmatrix, *, symmetrize: bool = True) -> CSRGraph:
     """Build a graph from a scipy sparse adjacency matrix.
 

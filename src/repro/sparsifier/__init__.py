@@ -1,8 +1,11 @@
 """Parallel sparsifier construction (paper Sections 3.2 and 4.2).
 
-Pipeline: degree-based edge **downsampling** probabilities → per-edge
-**PathSampling** (Algorithms 1 and 2) → **sparse hashing** aggregation →
-the trunc-log **NetMF matrix estimator** factorized downstream.
+Pipeline: a pluggable **sparsifier backend** (:mod:`repro.sparsifier.backends`)
+builds the count matrix — either degree-based edge **downsampling**
+probabilities → per-edge **PathSampling** (Algorithms 1 and 2), or the
+PSNE-style push-based **PPR** estimator — merged by **sparse hashing**
+aggregation into the trunc-log **NetMF matrix estimator** factorized
+downstream.
 """
 
 from repro.sparsifier.downsampling import downsampling_probabilities
@@ -21,9 +24,21 @@ from repro.sparsifier.aggregation import (
 )
 from repro.sparsifier.builder import (
     SparsifierResult,
+    aggregate_sample_counts,
     build_netmf_sparsifier,
     sparsifier_to_netmf_matrix,
+    validate_sparsifier_graph,
 )
+from repro.sparsifier.backends import (
+    PathSamplingBackend,
+    PPRBackend,
+    SPARSIFIER_BACKENDS,
+    SparsifierBackend,
+    build_sparsifier,
+    get_sparsifier_backend,
+    sparsifier_backend_names,
+)
+from repro.sparsifier.ppr import sample_ppr_counts, walk_operator
 
 __all__ = [
     "downsampling_probabilities",
@@ -38,6 +53,17 @@ __all__ = [
     "aggregate_histogram",
     "aggregate_sort",
     "SparsifierResult",
+    "aggregate_sample_counts",
     "build_netmf_sparsifier",
     "sparsifier_to_netmf_matrix",
+    "validate_sparsifier_graph",
+    "SparsifierBackend",
+    "PathSamplingBackend",
+    "PPRBackend",
+    "SPARSIFIER_BACKENDS",
+    "build_sparsifier",
+    "get_sparsifier_backend",
+    "sparsifier_backend_names",
+    "sample_ppr_counts",
+    "walk_operator",
 ]

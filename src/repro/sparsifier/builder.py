@@ -23,6 +23,22 @@ so the sparsified Eq. (1) entry is
 
 where ``W̄`` is the symmetrized aggregate ``(W + Wᵀ)/2`` (the sampling law is
 symmetric, so averaging the two orientations halves the variance for free).
+
+Weighted graphs
+---------------
+The derivation above generalizes verbatim when edges carry positive weights:
+seeds are drawn proportional to edge weight (``n_e`` has expectation
+``M·w_e/Σw`` — the stationary frequency a weighted walk traverses ``e``),
+walk steps use weight-proportional transition probabilities, degrees and
+``vol(G)`` become their weighted counterparts, and the downsampling
+probability uses ``A_uv = w_e``.  The estimator is unchanged because
+``P(x, y) = A_r(x, y)/vol(G)`` still holds entry-wise for the weighted walk
+matrix.  What does *not* generalize is a weight of exactly zero: such an
+edge can never be seeded yet still occupies a slot in every per-edge array,
+and its downsampling probability degenerates to ``p_e = 0`` (an infinite
+reweight if it ever survived) — :func:`validate_sparsifier_graph` rejects
+those graphs with a typed :class:`~repro.errors.UnsupportedGraphError`
+instead of silently producing a biased sparsifier.
 """
 
 from __future__ import annotations
@@ -35,7 +51,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro import telemetry
-from repro.errors import SamplingError
+from repro.errors import SamplingError, UnsupportedGraphError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.sparsifier.aggregation import (
@@ -98,6 +114,65 @@ def trunc_log(matrix: sp.spmatrix) -> sp.csr_matrix:
     return result
 
 
+def validate_sparsifier_graph(graph: GraphLike) -> bool:
+    """Check ``graph`` is servable by a sparsifier backend.
+
+    Returns ``True`` when the graph is weighted (backends then use
+    weight-aware seeding / weighted degrees) and ``False`` for the plain
+    unweighted case.  Weighted graphs with zero-weight edges raise
+    :class:`~repro.errors.UnsupportedGraphError` — see the module docstring:
+    the estimator's seeding and downsampling laws degenerate there.
+    """
+    flat = graph.decompress() if isinstance(graph, CompressedGraph) else graph
+    if flat.weights is None:
+        return False
+    if flat.weights.size and float(flat.weights.min()) <= 0.0:
+        raise UnsupportedGraphError(
+            "sparsifier backends require strictly positive edge weights on "
+            "weighted graphs (zero-weight edges cannot be seeded and break "
+            "the downsampling law); drop or reweight them first"
+        )
+    return True
+
+
+def aggregate_sample_counts(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    n: int,
+    *,
+    aggregator: str = "hash",
+    workers: int = 1,
+    backend: str = "thread",
+    stats: Optional[Dict[str, float]] = None,
+):
+    """Merge sample triples into unique ``(rows, cols, vals)`` — the shared
+    aggregation stage behind every sparsifier backend.
+
+    ``aggregator`` selects ``"hash"`` (shared-table, serial in the parent so
+    the result is identical across execution backends), ``"hash-sharded"``
+    (fixed 8-shard key partition mapped onto the worker pool — threads or
+    shared-memory processes) or ``"sort"``.
+    """
+    if aggregator == "hash":
+        # The shared-table aggregation is already serial in the parent;
+        # running it there keeps "hash" bit-identical across backends (the
+        # backend only changes who executes the sampling).
+        return aggregate_hash(u, v, w, n, stats=stats)
+    if aggregator == "hash-sharded":
+        # Fixed shard count: the decomposition (and hence the fp summation
+        # order) must not depend on ``workers``, mirroring the batch_size
+        # design in sampling.  Workers only map shards to threads (or
+        # processes).
+        return aggregate_hash_sharded(
+            u, v, w, n, workers=workers, num_shards=8,
+            backend=backend, stats=stats,
+        )
+    if aggregator == "sort":
+        return aggregate_sort(u, v, w, n)
+    raise SamplingError(f"unknown aggregator {aggregator!r}")
+
+
 def build_netmf_sparsifier(
     graph: GraphLike,
     config: PathSamplingConfig,
@@ -149,6 +224,7 @@ def build_netmf_sparsifier(
     n = graph.num_vertices
     timer = timer if timer is not None else StageTimer()
     stats: Dict[str, float] = {}
+    stats["weighted_seeding"] = float(validate_sparsifier_graph(graph))
     with timer.stage(
         "sparsifier", aggregator=aggregator, workers=workers, backend=backend
     ):
@@ -162,24 +238,10 @@ def build_netmf_sparsifier(
         stats["samples_per_sec"] = u.size / max(stats["sampling_seconds"], 1e-12)
         tic = time.perf_counter()
         with telemetry.span("sparsifier.aggregation", aggregator=aggregator):
-            if aggregator == "hash":
-                # The shared-table aggregation is already serial in the
-                # parent; running it there keeps "hash" bit-identical across
-                # backends (the backend only changes who executes the walks).
-                rows, cols, vals = aggregate_hash(u, v, w, n, stats=stats)
-            elif aggregator == "hash-sharded":
-                # Fixed shard count: the decomposition (and hence the fp
-                # summation order) must not depend on ``workers``, mirroring
-                # the batch_size design in sampling.  Workers only map shards
-                # to threads (or processes).
-                rows, cols, vals = aggregate_hash_sharded(
-                    u, v, w, n, workers=workers, num_shards=8,
-                    backend=backend, stats=stats,
-                )
-            elif aggregator == "sort":
-                rows, cols, vals = aggregate_sort(u, v, w, n)
-            else:
-                raise SamplingError(f"unknown aggregator {aggregator!r}")
+            rows, cols, vals = aggregate_sample_counts(
+                u, v, w, n, aggregator=aggregator, workers=workers,
+                backend=backend, stats=stats,
+            )
         stats["aggregation_seconds"] = time.perf_counter() - tic
         counts = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
         telemetry.gauge("sparsifier.nnz").set(counts.nnz)

@@ -1,0 +1,303 @@
+r"""PSNE-style push-based PPR proximity sparsification.
+
+Instead of drawing ``M`` PathSampling walks, this backend *computes* the
+walk mass each draw would estimate.  Recall (see
+:mod:`repro.sparsifier.builder`) that with ``P = D⁻¹A`` the ``r``-step walk
+matrix is ``A_r = D·Pʳ`` and a PathSampling aggregate satisfies
+
+    E[W(x, y)] = (M / vol(G)) · d_x · S(x, y),    S = (1/T) Σ_{r=1}^T Pʳ.
+
+The PPR backend evaluates ``S̃ ≈ S`` row-by-row with a batched sparse
+frontier iteration — the vectorized analog of PSNE's forward push.  Each
+source ``x`` carries a *per-source sample budget*
+
+    M_x = M · d_x / vol(G)
+
+(the degree-weighted seeding: a uniform-edge walk visits ``x`` with
+stationary frequency ``d_x / vol``), and frontier entries whose final
+contribution to the expected count ``M_x · S̃(x, y)`` would fall below the
+``resolution`` threshold are pruned — the per-source residual thresholding
+that keeps the frontier sparse and the output nnz proportional to ``M``.
+
+The emitted integer-ish counts ``t(x, y) = M_x · S̃(x, y)`` are randomized-
+rounded below one expected draw (kept with probability ``t`` at weight 1,
+kept deterministically at weight ``t`` otherwise), so the aggregate is an
+unbiased estimate of the *same* ``W`` the PathSampling backend produces and
+feeds the unchanged estimator
+:func:`repro.sparsifier.builder.sparsifier_to_netmf_matrix` with
+``num_draws = M``.
+
+Determinism contract: sources are processed in fixed-size batches whose
+decomposition depends only on ``batch_size``; the rounding coins of batch
+``i`` come from the ``i``-th RNG stream of
+:func:`repro.utils.rng.spawn_batch_rngs`.  The result is therefore
+bit-identical at every worker count on both the thread and the process
+execution substrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import telemetry
+from repro.errors import SamplingError
+from repro.graph.compression import CompressedGraph
+from repro.graph.csr import CSRGraph
+from repro.sparsifier.path_sampling import PathSamplingConfig
+from repro.utils.parallel import default_workers, parallel_map, resolve_backend
+from repro.utils.rng import SeedLike, ensure_rng, spawn_batch_rngs
+
+GraphLike = Union[CSRGraph, CompressedGraph]
+
+# Sources per slab are capped so one frontier block stays cache-friendly even
+# with the default (walk-oriented) 2M batch_size.
+_MAX_SOURCE_BATCH = 16_384
+
+# Per-process PPR context, installed once per worker by the pool initializer
+# (mirrors ``_SAMPLE_CTX`` in path_sampling): the walk operator plus scalar
+# config, so each task pickles only its source ids and its RNG stream.
+_PPR_CTX: Dict[str, object] = {}
+
+
+def walk_operator(graph: GraphLike) -> Tuple[sp.csr_matrix, np.ndarray, float]:
+    """``(P, degrees, vol)`` — the row-stochastic transition matrix ``D⁻¹A``.
+
+    Rows of isolated vertices are zero (their walk mass dies, matching the
+    PathSampling process which can never seed there).  Pure deterministic
+    function of the graph, so parent and pool workers agree bit for bit.
+    """
+    flat = graph.decompress() if isinstance(graph, CompressedGraph) else graph
+    degrees = flat.weighted_degrees().astype(np.float64)
+    adjacency = flat.adjacency(dtype=np.float64)
+    inv = np.where(degrees > 0, 1.0 / np.maximum(degrees, 1e-300), 0.0)
+    operator = (sp.diags(inv) @ adjacency).tocsr()
+    return operator, degrees, float(flat.volume)
+
+
+def _prune_rows(matrix: sp.csr_matrix, floors: np.ndarray) -> sp.csr_matrix:
+    """Drop entries of row ``i`` below ``floors[i]`` (residual thresholding)."""
+    counts = np.diff(matrix.indptr)
+    keep = matrix.data >= np.repeat(floors, counts)
+    if keep.all():
+        return matrix
+    rows = np.repeat(np.arange(matrix.shape[0]), counts)[keep]
+    return sp.csr_matrix(
+        (matrix.data[keep], (rows, matrix.indices[keep])), shape=matrix.shape
+    )
+
+
+def ppr_batch_counts(
+    operator: sp.csr_matrix,
+    degrees: np.ndarray,
+    volume: float,
+    sources: np.ndarray,
+    *,
+    window: int,
+    num_samples: int,
+    resolution: float,
+    rng: np.random.Generator,
+    stats: Optional[Dict[str, float]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expected-count triples ``(rows, cols, weights)`` for one source slab.
+
+    Runs ``window`` frontier pushes from the given sources, prunes entries
+    whose expected count ``M_x·S̃(x,y)`` would land below ``resolution``, and
+    randomized-rounds sub-unit counts with ``rng`` (one coin array per slab —
+    the batch's RNG stream).
+    """
+    batch = sources.size
+    n = operator.shape[0]
+    budgets = num_samples * degrees[sources] / volume
+    # Frontier entries contribute M_x·p/T to the final count: prune at the
+    # walk-probability level that maps to ``resolution`` expected samples.
+    floors = np.where(
+        budgets > 0, resolution * window / np.maximum(budgets, 1e-300), np.inf
+    )
+    frontier = sp.csr_matrix(
+        (np.ones(batch), (np.arange(batch), sources)), shape=(batch, n)
+    )
+    accumulator = None
+    pushes = 0
+    for _ in range(window):
+        frontier = (frontier @ operator).tocsr()
+        pushes += int(frontier.nnz)
+        frontier = _prune_rows(frontier, floors)
+        accumulator = frontier if accumulator is None else accumulator + frontier
+        if frontier.nnz == 0:
+            break
+    if stats is not None:
+        stats["pushes"] = stats.get("pushes", 0.0) + pushes
+    # t(x, y) = M_x · S̃(x, y) with S̃ = accumulated frontier mass / T.
+    expected = (sp.diags(budgets / window) @ accumulator.tocsr()).tocoo()
+    values = expected.data
+    # Unbiased rounding: keep sub-unit counts with probability t at weight 1,
+    # keep t >= 1 deterministically at weight t (rng.random() < 1 always).
+    keep = rng.random(values.size) < np.minimum(values, 1.0)
+    rows = sources[expected.row[keep]].astype(np.int64)
+    cols = expected.col[keep].astype(np.int64)
+    weights = np.maximum(values[keep], 1.0)
+    return rows, cols, weights
+
+
+def _ppr_worker_init(
+    graph_spec: tuple, window: int, num_samples: int, resolution: float
+) -> None:
+    """Rebuild the PPR context inside a pool worker process.
+
+    ``graph_spec`` follows the sampling convention: ``("mmap", path)``
+    reopens the CSR v2 container memmapped, ``("pickle", graph)`` receives
+    one pickled copy.  The walk operator is recomputed here — it is a pure
+    function of the graph, so it matches the parent bit for bit.
+    """
+    if graph_spec[0] == "mmap":
+        from repro.graph.io import load_csr
+
+        graph = load_csr(graph_spec[1])
+    else:
+        graph = graph_spec[1]
+    operator, degrees, volume = walk_operator(graph)
+    _PPR_CTX.update(
+        operator=operator, degrees=degrees, volume=volume,
+        window=window, num_samples=num_samples, resolution=resolution,
+    )
+
+
+def _ppr_chunk_proc(
+    index: int, sources: np.ndarray, chunk_rng: np.random.Generator
+):
+    """Process-pool PPR task — the module-level twin of the thread closure.
+
+    Instrumentation mirrors the thread path and records into the worker's
+    spooled tracer/registry (merged by the parent at pool shutdown), so
+    ``sparsifier.ppr.batch`` spans land on the worker-pid trace lanes.
+    """
+    with telemetry.span(
+        "sparsifier.ppr.batch", batch=index, size=int(sources.size)
+    ) as span:
+        triple = ppr_batch_counts(
+            _PPR_CTX["operator"], _PPR_CTX["degrees"], _PPR_CTX["volume"],
+            sources, window=_PPR_CTX["window"],
+            num_samples=_PPR_CTX["num_samples"],
+            resolution=_PPR_CTX["resolution"], rng=chunk_rng,
+        )
+    elapsed = getattr(span, "duration", None)
+    if elapsed is not None:
+        telemetry.histogram("sparsifier.ppr.batch_seconds").observe(elapsed)
+        telemetry.counter("sparsifier.ppr.batches").inc()
+        telemetry.counter("sparsifier.ppr.entries").inc(triple[0].size)
+    return triple
+
+
+def sample_ppr_counts(
+    graph: GraphLike,
+    config: PathSamplingConfig,
+    seed: SeedLike = None,
+    *,
+    batch_size: int = 2_000_000,
+    workers: Optional[int] = 1,
+    backend: Optional[str] = None,
+    stats: Optional[Dict[str, float]] = None,
+    resolution: float = 0.25,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Run the push-based PPR estimator end to end.
+
+    Returns ``(rows, cols, weights, draws)`` with the same contract as
+    :func:`repro.sparsifier.path_sampling.sample_sparsifier_edges`:
+    aggregated, the triples estimate the count matrix ``W`` with
+    ``E[W(x,y)] = (M/vol)·d_x·S(x,y)``, and ``draws`` is the nominal sample
+    budget ``M`` the downstream estimator divides by.
+
+    ``config`` is the shared :class:`PathSamplingConfig` — ``window`` is the
+    push depth ``T``, ``num_samples`` the budget ``M``; the downsampling
+    knobs do not apply (the residual threshold plays their role and the
+    budget already scales nnz).  Sources are processed in fixed slabs of
+    ``min(batch_size, 16384)`` rows with per-batch RNG streams, so the output
+    is bit-identical for every ``workers`` value on both the ``"thread"``
+    and ``"process"`` substrates (the latter rebuilds the walk operator per
+    worker via a pool initializer, memmapping CSR v2 graphs when available).
+
+    ``resolution`` is the residual threshold in units of expected samples:
+    entries whose expected count would fall below it are pruned during the
+    push (biasing the estimate low the same way dropped walk samples do).
+    """
+    rng = ensure_rng(seed)
+    backend = resolve_backend(backend)
+    if workers is None:
+        workers = default_workers()
+    if batch_size < 1:
+        raise SamplingError(f"batch_size must be >= 1, got {batch_size}")
+    if resolution <= 0:
+        raise SamplingError(f"resolution must be > 0, got {resolution}")
+    flat = graph.decompress() if isinstance(graph, CompressedGraph) else graph
+    if flat.num_edges == 0:
+        raise SamplingError("cannot sparsify an empty graph")
+    if config.num_samples <= 0:
+        raise SamplingError("config.num_samples must be set (> 0)")
+
+    n = flat.num_vertices
+    source_batch = max(1, min(int(batch_size), _MAX_SOURCE_BATCH))
+    starts = list(range(0, n, source_batch))
+    if stats is not None:
+        stats["draws"] = int(config.num_samples)
+        stats["batches"] = len(starts)
+        stats["batch_size"] = int(source_batch)
+        stats["workers"] = int(workers)
+        stats["backend"] = backend
+        stats["resolution"] = float(resolution)
+
+    operator, degrees, volume = walk_operator(flat)
+    all_sources = np.arange(n, dtype=np.int64)
+    batch_rngs = spawn_batch_rngs(rng, len(starts))
+    args = [
+        (index, all_sources[start : start + source_batch], batch_rng)
+        for index, (start, batch_rng) in enumerate(zip(starts, batch_rngs))
+    ]
+    # Batch spans run on pool threads with no current-span stack — capture
+    # the parent here (the sparsifier stage span when tracing is on).
+    parent_span = telemetry.current_span()
+
+    def push_chunk(
+        index: int, sources: np.ndarray, chunk_rng: np.random.Generator
+    ):
+        with telemetry.span(
+            "sparsifier.ppr.batch", parent=parent_span,
+            batch=index, size=int(sources.size),
+        ) as span:
+            triple = ppr_batch_counts(
+                operator, degrees, volume, sources,
+                window=config.window, num_samples=config.num_samples,
+                resolution=resolution, rng=chunk_rng, stats=stats,
+            )
+        elapsed = getattr(span, "duration", None)
+        if elapsed is not None:
+            telemetry.histogram("sparsifier.ppr.batch_seconds").observe(elapsed)
+            telemetry.counter("sparsifier.ppr.batches").inc()
+            telemetry.counter("sparsifier.ppr.entries").inc(triple[0].size)
+        return triple
+
+    if backend == "process" and workers > 1:
+        mmap_source = getattr(graph, "mmap_source", None)
+        graph_spec = ("mmap", mmap_source) if mmap_source else ("pickle", graph)
+        results = parallel_map(
+            _ppr_chunk_proc,
+            args,
+            workers=workers,
+            backend="process",
+            initializer=_ppr_worker_init,
+            initargs=(graph_spec, config.window, config.num_samples, resolution),
+            label="sparsifier.ppr",
+        )
+    else:
+        results = parallel_map(
+            push_chunk, args, workers=workers, label="sparsifier.ppr"
+        )
+    rows = np.concatenate([r[0] for r in results])
+    cols = np.concatenate([r[1] for r in results])
+    weights = np.concatenate([r[2] for r in results])
+    if stats is not None:
+        stats["walk_samples"] = int(rows.size)
+    telemetry.counter("sparsifier.draws").inc(int(config.num_samples))
+    return rows, cols, weights, int(config.num_samples)

@@ -2,7 +2,9 @@
 
 Models the industrial loop the paper's introduction motivates (Alibaba /
 LinkedIn re-embedding their graphs "every few hours"): updates accumulate,
-and when the staleness policy fires the graph is re-embedded with LightNE.
+and when the staleness policy fires the graph is re-embedded with the
+configured registry method (LightNE by default), reusing the *full* params —
+sparsifier backend, substrate and worker knobs included.
 Consecutive embeddings are aligned with an orthogonal Procrustes rotation so
 downstream consumers (ANN indexes, rankers) see a stable coordinate frame.
 """
@@ -15,7 +17,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.embedding.base import EmbeddingResult
-from repro.embedding.lightne import LightNEParams, lightne_embedding
+from repro.embedding.lightne import LightNEParams
 from repro.errors import GraphConstructionError
 from repro.graph.csr import CSRGraph
 from repro.graph.transforms import add_edges, remove_edges
@@ -48,14 +50,22 @@ class RefreshPolicy:
 
 
 class DynamicEmbedder:
-    """Maintains a graph and its LightNE embedding under streaming updates.
+    """Maintains a graph and its embedding under streaming updates.
 
     Parameters
     ----------
     graph:
         Initial graph.
     params:
-        LightNE configuration reused at every refresh.
+        Full method configuration, *forwarded verbatim at every refresh* —
+        including the sparsifier backend, execution substrate and worker
+        knobs (historically refreshes silently fell back to default
+        params).  ``None`` uses the method's dataclass defaults.
+    method:
+        Any registered embedding method name or alias (default
+        ``"lightne"``); resolved through
+        :mod:`repro.embedding.registry`, so temporal replays can exercise
+        e.g. ``netsmf`` or a ``sparsifier="ppr"`` configuration end to end.
     policy:
         Staleness policy; ``None`` means refresh on every batch.
     seed:
@@ -65,19 +75,35 @@ class DynamicEmbedder:
     def __init__(
         self,
         graph: CSRGraph,
-        params: LightNEParams = LightNEParams(),
+        params: Optional[object] = None,
         *,
+        method: str = "lightne",
         policy: Optional[RefreshPolicy] = None,
         seed: Optional[int] = 0,
     ) -> None:
+        from repro.embedding.registry import get_method
+
+        spec = get_method(method)
+        if params is None:
+            params = (
+                LightNEParams() if spec.params_type is LightNEParams
+                else spec.params_type()
+            )
+        elif not isinstance(params, spec.params_type):
+            raise GraphConstructionError(
+                f"params {type(params).__name__} does not match method "
+                f"{spec.name!r} (expects {spec.params_type.__name__})"
+            )
         self.graph = graph
+        self.method = spec.name
         self.params = params
+        self._builder = spec.builder
         self.policy = policy if policy is not None else RefreshPolicy(0.0, 1)
         self.seed = seed
         self.pending_updates = 0
         self.refresh_count = 0
         self.drift_history: List[float] = []
-        self._result = lightne_embedding(
+        self._result = self._builder(
             graph, params, derive_seed(seed, 0) if seed is not None else None
         )
 
@@ -116,14 +142,14 @@ class DynamicEmbedder:
         return False
 
     def refresh(self) -> EmbeddingResult:
-        """Re-embed now and align to the previous frame (Procrustes)."""
+        """Re-embed with the *full* configured params and Procrustes-align."""
         self.refresh_count += 1
         seed = (
             derive_seed(self.seed, self.refresh_count)
             if self.seed is not None
             else None
         )
-        new_result = lightne_embedding(self.graph, self.params, seed)
+        new_result = self._builder(self.graph, self.params, seed)
         aligned, drift = _procrustes_align(self._result.vectors, new_result.vectors)
         new_result.vectors = aligned
         new_result.info["aligned_to_previous"] = True

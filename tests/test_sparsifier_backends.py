@@ -1,0 +1,494 @@
+"""Tests for the pluggable sparsifier backend layer.
+
+Covers the backend contract from three sides: the default ``"path"``
+backend must be bit-identical to the pre-backend pipeline at every worker
+count on both execution substrates; the ``"ppr"`` backend must be
+deterministic under the same sweep and estimate the NetMF matrix at least
+as well as PathSampling at equal sample budgets; and the widened
+workloads (weighted / bipartite / temporal) must run the full
+builders → sparsifier → eval path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.lightne import LightNEParams, lightne_embedding
+from repro.embedding.netmf import netmf_matrix_dense
+from repro.embedding.netsmf import NetSMFParams, netsmf_embedding
+from repro.embedding.registry import make_params
+from repro.errors import (
+    GraphConstructionError,
+    MethodParameterError,
+    SamplingError,
+    UnsupportedGraphError,
+)
+from repro.graph.builders import from_bipartite_edges, from_edges
+from repro.graph.generators import dcsbm_graph, erdos_renyi_graph
+from repro.sparsifier.backends import (
+    SPARSIFIER_BACKENDS,
+    PathSamplingBackend,
+    PPRBackend,
+    SparsifierBackend,
+    build_sparsifier,
+    get_sparsifier_backend,
+    sparsifier_backend_names,
+)
+from repro.sparsifier.builder import (
+    build_netmf_sparsifier,
+    sparsifier_to_netmf_matrix,
+    validate_sparsifier_graph,
+)
+from repro.sparsifier.path_sampling import PathSamplingConfig
+from repro.sparsifier.ppr import sample_ppr_counts, walk_operator
+from repro.utils.timer import StageTimer
+
+
+def _identical(a, b) -> bool:
+    """Bit-identity of two SparsifierResults."""
+    return a.num_draws == b.num_draws and (a.counts != b.counts).nnz == 0
+
+
+class TestRegistry:
+    def test_backend_names(self):
+        assert sparsifier_backend_names() == ["path", "ppr"]
+
+    def test_default_is_path(self):
+        assert sparsifier_backend_names()[0] == "path"
+
+    def test_lookup(self):
+        assert isinstance(get_sparsifier_backend("path"), PathSamplingBackend)
+        assert isinstance(get_sparsifier_backend("ppr"), PPRBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(SamplingError):
+            get_sparsifier_backend("wat")
+
+    def test_every_backend_implements_protocol(self):
+        for name, backend in SPARSIFIER_BACKENDS.items():
+            assert isinstance(backend, SparsifierBackend)
+            assert backend.name == name
+
+    def test_make_params_accepts_sparsifier(self):
+        params = make_params("lightne", sparsifier="ppr", dimension=8)
+        assert params.sparsifier == "ppr"
+        params = make_params("netsmf", sparsifier="ppr")
+        assert params.sparsifier == "ppr"
+
+    def test_make_params_rejects_sparsifier_on_prone(self):
+        with pytest.raises(MethodParameterError):
+            make_params("prone", sparsifier="ppr")
+
+
+class TestPathBackendBitIdentity:
+    """The refactor guarantee: ``"path"`` == the pre-backend pipeline."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_lightne_style_config(self, er_graph, workers, backend):
+        config = PathSamplingConfig(window=3, num_samples=3000, downsample=True)
+        direct = build_netmf_sparsifier(
+            er_graph, config, seed=11, workers=workers, backend=backend,
+            batch_size=500,
+        )
+        via_layer = build_sparsifier(
+            er_graph, config, seed=11, sparsifier="path", workers=workers,
+            backend=backend, batch_size=500,
+        )
+        assert _identical(direct, via_layer)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_netsmf_style_config(self, er_graph, workers):
+        config = PathSamplingConfig(window=2, num_samples=2000, downsample=False)
+        direct = build_netmf_sparsifier(
+            er_graph, config, seed=12, aggregator="sort", workers=workers,
+            batch_size=500,
+        )
+        via_layer = build_sparsifier(
+            er_graph, config, seed=12, sparsifier="path",
+            aggregator="sort", workers=workers, batch_size=500,
+        )
+        assert _identical(direct, via_layer)
+
+    def test_worker_count_invariance_through_layer(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=3000, downsample=True)
+        results = [
+            build_sparsifier(
+                er_graph, config, seed=13, sparsifier="path",
+                workers=w, backend=b, batch_size=500,
+            )
+            for w in (1, 2, 4)
+            for b in ("thread", "process")
+        ]
+        assert all(_identical(results[0], r) for r in results[1:])
+
+    def test_embedding_default_equals_explicit_path(self, er_graph):
+        default = lightne_embedding(
+            er_graph,
+            LightNEParams(dimension=8, window=2, sample_multiplier=2),
+            seed=5,
+        )
+        explicit = lightne_embedding(
+            er_graph,
+            LightNEParams(
+                dimension=8, window=2, sample_multiplier=2, sparsifier="path"
+            ),
+            seed=5,
+        )
+        np.testing.assert_array_equal(default.vectors, explicit.vectors)
+
+    def test_netsmf_embedding_default_equals_explicit_path(self, er_graph):
+        default = netsmf_embedding(
+            er_graph, NetSMFParams(dimension=8, window=2, sample_multiplier=2), seed=5
+        )
+        explicit = netsmf_embedding(
+            er_graph,
+            NetSMFParams(dimension=8, window=2, sample_multiplier=2, sparsifier="path"),
+            seed=5,
+        )
+        np.testing.assert_array_equal(default.vectors, explicit.vectors)
+
+
+class TestPPRDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_worker_and_substrate_invariance(self, er_graph, workers, backend):
+        config = PathSamplingConfig(window=3, num_samples=4000)
+        reference = build_sparsifier(
+            er_graph, config, seed=21, sparsifier="ppr", workers=1,
+            backend="thread", batch_size=20,  # force multiple source batches
+        )
+        other = build_sparsifier(
+            er_graph, config, seed=21, sparsifier="ppr", workers=workers,
+            backend=backend, batch_size=20,
+        )
+        assert _identical(reference, other)
+
+    def test_embedding_level_determinism(self, er_graph):
+        params = LightNEParams(
+            dimension=8, window=2, sample_multiplier=2, sparsifier="ppr"
+        )
+        a = lightne_embedding(er_graph, params, seed=6)
+        b = lightne_embedding(er_graph, params, seed=6)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+        assert a.info["sparsifier"] == "ppr"
+
+    def test_seed_changes_output(self, er_graph):
+        config = PathSamplingConfig(window=2, num_samples=2000)
+        a = build_sparsifier(er_graph, config, seed=1, sparsifier="ppr")
+        b = build_sparsifier(er_graph, config, seed=2, sparsifier="ppr")
+        assert (a.counts != b.counts).nnz > 0
+
+
+class TestPPREstimator:
+    """PPR must honor the same NetMF estimator contract as PathSampling."""
+
+    def test_mass_matches_budget_in_expectation(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=30_000)
+        result = build_sparsifier(er_graph, config, seed=31, sparsifier="ppr")
+        assert result.num_draws == config.num_samples
+        assert result.counts.sum() == pytest.approx(config.num_samples, rel=0.1)
+
+    def test_walk_operator_row_stochastic(self, er_graph):
+        operator, degrees, volume = walk_operator(er_graph)
+        np.testing.assert_allclose(
+            np.asarray(operator.sum(axis=1)).ravel(), 1.0, atol=1e-12
+        )
+        assert volume == pytest.approx(degrees.sum())
+
+    def test_quality_improves_with_budget(self):
+        g, _ = dcsbm_graph(60, 3, avg_degree=10, seed=0)
+        window = 3
+        exact = netmf_matrix_dense(g, window=window)
+
+        def correlation(multiplier):
+            config = PathSamplingConfig(
+                window=window,
+                num_samples=PathSamplingConfig.samples_for_multiplier(
+                    g, window, multiplier
+                ),
+            )
+            result = build_sparsifier(g, config, seed=0, sparsifier="ppr")
+            approx = sparsifier_to_netmf_matrix(g, result).toarray()
+            mask = (exact > 0) | (approx > 0)
+            return np.corrcoef(exact[mask], approx[mask])[0, 1]
+
+        coarse, fine = correlation(1), correlation(30)
+        assert fine > coarse
+        assert fine > 0.85
+
+    def test_matches_path_quality_at_equal_budget(self):
+        """The ablation's headline claim: at the same sample budget M, the
+        PPR estimator is at least as correlated with the dense NetMF matrix
+        as Monte-Carlo PathSampling (observed: clearly better)."""
+        g, _ = dcsbm_graph(60, 3, avg_degree=10, seed=1)
+        window = 3
+        exact = netmf_matrix_dense(g, window=window)
+        config = PathSamplingConfig(
+            window=window,
+            num_samples=PathSamplingConfig.samples_for_multiplier(g, window, 2),
+        )
+
+        def correlation(sparsifier):
+            result = build_sparsifier(g, config, seed=2, sparsifier=sparsifier)
+            approx = sparsifier_to_netmf_matrix(g, result).toarray()
+            mask = (exact > 0) | (approx > 0)
+            return np.corrcoef(exact[mask], approx[mask])[0, 1]
+
+        assert correlation("ppr") >= correlation("path") - 0.02
+
+    def test_resolution_controls_density(self, er_graph):
+        config = PathSamplingConfig(window=3, num_samples=20_000)
+        fine = PPRBackend(resolution=0.05).build(er_graph, config, seed=3)
+        coarse = PPRBackend(resolution=2.0).build(er_graph, config, seed=3)
+        assert fine.counts.nnz >= coarse.counts.nnz
+
+    def test_invalid_inputs(self, er_graph):
+        rng = np.random.default_rng(0)
+        good = PathSamplingConfig(window=2, num_samples=100)
+        with pytest.raises(SamplingError):
+            sample_ppr_counts(er_graph, good, rng, batch_size=0)
+        with pytest.raises(SamplingError):
+            sample_ppr_counts(er_graph, good, rng, resolution=0.0)
+        empty = from_edges([], [], num_vertices=3)
+        with pytest.raises(SamplingError):
+            sample_ppr_counts(empty, good, rng)
+
+    def test_stage_and_counters_recorded(self, er_graph):
+        timer = StageTimer()
+        config = PathSamplingConfig(window=2, num_samples=1500)
+        result = build_sparsifier(
+            er_graph, config, seed=33, sparsifier="ppr", timer=timer, workers=2
+        )
+        assert "sparsifier" in timer.stages
+        counters = timer.counters["sparsifier"]
+        assert counters["workers"] == 2
+        assert counters["walk_samples"] == result.stats["walk_samples"]
+        assert counters["batches"] >= 1
+        assert result.stats["backend"] in ("thread", "process")
+        assert result.stats["resolution"] == pytest.approx(0.25)
+
+
+class TestWeightedGraphs:
+    def test_weighted_seeding_flag_path(self):
+        g = from_edges([0, 1, 2, 3], [1, 2, 3, 0], [1.0, 2.0, 3.0, 4.0])
+        config = PathSamplingConfig(window=2, num_samples=500)
+        result = build_sparsifier(g, config, seed=0, sparsifier="path")
+        assert result.stats["weighted_seeding"] == 1.0
+
+    def test_weighted_seeding_flag_ppr(self):
+        g = from_edges([0, 1, 2, 3], [1, 2, 3, 0], [1.0, 2.0, 3.0, 4.0])
+        config = PathSamplingConfig(window=2, num_samples=500)
+        result = build_sparsifier(g, config, seed=0, sparsifier="ppr")
+        assert result.stats["weighted_seeding"] == 1.0
+
+    def test_unweighted_flag_zero(self, er_graph):
+        assert validate_sparsifier_graph(er_graph) is False
+
+    @pytest.mark.parametrize("sparsifier", ["path", "ppr"])
+    def test_nonpositive_weight_rejected(self, sparsifier):
+        g = from_edges([0, 1, 2], [1, 2, 3], [1.0, 0.0, 2.0])
+        config = PathSamplingConfig(window=2, num_samples=500)
+        with pytest.raises(UnsupportedGraphError):
+            build_sparsifier(g, config, seed=0, sparsifier=sparsifier)
+
+    @pytest.mark.parametrize("sparsifier", ["path", "ppr"])
+    def test_weighted_end_to_end(self, sparsifier):
+        rng = np.random.default_rng(3)
+        g = erdos_renyi_graph(50, 0.2, seed=4)
+        src, dst = g.edge_endpoints()
+        weighted = from_edges(
+            src, dst, rng.uniform(0.5, 3.0, src.size), symmetrize=False
+        )
+        params = LightNEParams(
+            dimension=8, window=2, sample_multiplier=2, sparsifier=sparsifier
+        )
+        result = lightne_embedding(weighted, params, seed=0)
+        assert result.vectors.shape == (50, 8)
+        assert np.all(np.isfinite(result.vectors))
+
+
+class TestBipartite:
+    def test_builder_relabels_right_side(self):
+        g = from_bipartite_edges([0, 1, 2], [0, 0, 1], num_left=3, num_right=2)
+        assert g.num_vertices == 5
+        src, dst = g.edge_endpoints()
+        # Every edge crosses the partition boundary at index 3.
+        assert np.all((src < 3) != (dst < 3))
+
+    def test_builder_validation(self):
+        with pytest.raises(GraphConstructionError):
+            from_bipartite_edges([0, 1], [0])
+        with pytest.raises(GraphConstructionError):
+            from_bipartite_edges([0, 5], [0, 1], num_left=2)
+        with pytest.raises(GraphConstructionError):
+            from_bipartite_edges([0, 1], [0, 7], num_right=3)
+
+    @pytest.mark.parametrize("sparsifier", ["path", "ppr"])
+    def test_end_to_end_embedding(self, sparsifier):
+        rng = np.random.default_rng(7)
+        left = rng.integers(0, 40, 400)
+        right = rng.integers(0, 25, 400)
+        g = from_bipartite_edges(left, right, num_left=40, num_right=25)
+        params = LightNEParams(
+            dimension=8, window=2, sample_multiplier=2, sparsifier=sparsifier
+        )
+        result = lightne_embedding(g, params, seed=0)
+        assert result.vectors.shape == (65, 8)
+        users, items = result.vectors[:40], result.vectors[40:]
+        assert users.shape == (40, 8) and items.shape == (25, 8)
+        assert np.all(np.isfinite(result.vectors))
+
+
+class TestTemporalReplay:
+    @staticmethod
+    def _timestamped_edges(seed=0, size=900, n=80):
+        rng = np.random.default_rng(seed)
+        g, _ = dcsbm_graph(n, 3, avg_degree=12, mixing=0.1, seed=seed)
+        src, dst = g.edge_endpoints()
+        keep = src < dst  # one direction per undirected edge
+        src, dst = src[keep], dst[keep]
+        ts = rng.uniform(0.0, 1.0, src.size)
+        return src, dst, ts, n
+
+    def test_stream_split_covers_all_edges(self):
+        from repro.streaming import temporal_edge_stream
+
+        src, dst, ts, n = self._timestamped_edges()
+        initial, batches = temporal_edge_stream(src, dst, ts, epochs=3)
+        assert len(batches) == 3
+        replayed = sum(b.num_additions for b in batches)
+        # num_edges counts undirected edges; every input pair is unique.
+        assert initial.num_edges + replayed == src.size
+        assert initial.num_vertices == n
+
+    def test_stream_is_chronological(self):
+        from repro.streaming import temporal_edge_stream
+
+        src = np.array([0, 1, 2, 3, 4, 5])
+        dst = np.array([1, 2, 3, 4, 5, 0])
+        ts = np.array([5.0, 1.0, 4.0, 2.0, 0.0, 3.0])
+        initial, batches = temporal_edge_stream(
+            src, dst, ts, epochs=2, initial_fraction=0.5, num_vertices=6
+        )
+        # Earliest half: edges with ts {0,1,2}: (4,5), (1,2), (3,4).
+        assert initial.num_edges == 3
+        assert initial.degree(0) == 0  # ts-5.0 edge arrives last
+        late = np.concatenate([b.add_sources for b in batches])
+        assert set(late.tolist()) == {5, 2, 0}
+
+    def test_stream_validation(self):
+        from repro.streaming import temporal_edge_stream
+
+        with pytest.raises(GraphConstructionError):
+            temporal_edge_stream([0, 1], [1, 2], [0.0])
+        with pytest.raises(GraphConstructionError):
+            temporal_edge_stream([0, 1], [1, 2], [0.0, 1.0], initial_fraction=1.0)
+        with pytest.raises(GraphConstructionError):
+            temporal_edge_stream([0, 1], [1, 2], [0.0, 1.0], epochs=0)
+
+    @pytest.mark.parametrize("sparsifier", ["path", "ppr"])
+    def test_replay_scores_every_epoch(self, sparsifier):
+        from repro.streaming import replay_temporal_link_prediction
+
+        src, dst, ts, n = self._timestamped_edges(seed=1)
+        rows = replay_temporal_link_prediction(
+            src, dst, ts,
+            params=LightNEParams(
+                dimension=8, window=2, sample_multiplier=2,
+                propagate=False, sparsifier=sparsifier,
+            ),
+            epochs=3, num_negatives=20, num_vertices=n, seed=0,
+        )
+        assert [row["epoch"] for row in rows] == [0, 1, 2]
+        for row in rows:
+            assert row["edges"] > 0
+            assert 0.0 <= row["MRR"] <= 1.0
+            assert 0.0 <= row["HITS@10"] <= 1.0
+        # The default policy refreshes every batch.
+        assert all(row["refreshed"] for row in rows)
+
+    def test_replay_records_per_epoch_ledger_rows(self, tmp_path):
+        from repro.streaming import replay_temporal_link_prediction
+        from repro.telemetry import ledger
+
+        src, dst, ts, n = self._timestamped_edges(seed=2)
+        path = tmp_path / "temporal.jsonl"
+        with ledger.enabled_scope(path=path):
+            replay_temporal_link_prediction(
+                src, dst, ts,
+                params=LightNEParams(
+                    dimension=8, window=2, sample_multiplier=2,
+                    propagate=False, sparsifier="ppr",
+                ),
+                epochs=3, num_negatives=20, num_vertices=n, seed=0,
+            )
+        records = ledger.load_records(path)
+        epoch_records = [
+            r for r in records if str(r.context).startswith("temporal.epoch")
+        ]
+        assert [r.context for r in epoch_records] == [
+            "temporal.epoch0", "temporal.epoch1", "temporal.epoch2"
+        ]
+        for record in epoch_records:
+            assert record.params["sparsifier"] == "ppr"
+            assert "mrr" in record.quality
+            assert "hits@10" in record.quality
+
+    def test_replay_deterministic(self):
+        from repro.streaming import replay_temporal_link_prediction
+
+        src, dst, ts, n = self._timestamped_edges(seed=3)
+        kwargs = dict(
+            params=LightNEParams(
+                dimension=8, window=2, sample_multiplier=2, propagate=False
+            ),
+            epochs=2, num_negatives=20, num_vertices=n, seed=4,
+        )
+        assert (
+            replay_temporal_link_prediction(src, dst, ts, **kwargs)
+            == replay_temporal_link_prediction(src, dst, ts, **kwargs)
+        )
+
+
+class TestDynamicEmbedderMethods:
+    def test_refresh_forwards_sparsifier(self, er_graph):
+        from repro.streaming import DynamicEmbedder, EdgeBatch
+
+        params = LightNEParams(
+            dimension=8, window=2, sample_multiplier=2,
+            propagate=False, sparsifier="ppr",
+        )
+        embedder = DynamicEmbedder(er_graph, params, seed=0)
+        assert embedder.result.info["sparsifier"] == "ppr"
+        embedder.apply(EdgeBatch(np.array([0]), np.array([30])))
+        assert embedder.result.info["sparsifier"] == "ppr"
+
+    def test_netsmf_method(self, er_graph):
+        from repro.streaming import DynamicEmbedder
+
+        embedder = DynamicEmbedder(
+            er_graph,
+            NetSMFParams(dimension=8, window=2, sample_multiplier=2),
+            method="netsmf",
+            seed=0,
+        )
+        assert embedder.method == "netsmf"
+        assert embedder.vectors.shape == (er_graph.num_vertices, 8)
+
+    def test_default_params_from_method(self, sbm_bundle):
+        from repro.streaming import DynamicEmbedder
+
+        graph, _ = sbm_bundle
+        embedder = DynamicEmbedder(graph, seed=0)
+        assert embedder.method == "lightne"
+        assert isinstance(embedder.params, LightNEParams)
+
+    def test_params_type_mismatch_raises(self, er_graph):
+        from repro.streaming import DynamicEmbedder
+
+        with pytest.raises(GraphConstructionError):
+            DynamicEmbedder(
+                er_graph, NetSMFParams(dimension=8), method="lightne", seed=0
+            )
