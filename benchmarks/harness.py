@@ -34,7 +34,7 @@ RUNS_PATH = os.environ.get(ledger.ENV_PATH) or os.path.join(
 
 def embed(method: str, graph, *, dimension=32, window=5, multiplier=1.0, seed=SEED,
           propagate=True, downsample=True, workers=None,
-          precision=None, sparsifier=None) -> EmbeddingResult:
+          precision=None, sparsifier=None, factorizer=None) -> EmbeddingResult:
     """Uniform dispatch used by the cross-method benchmarks.
 
     Thin wrapper over :func:`repro.experiments.runner.dispatch_method` (which
@@ -51,7 +51,7 @@ def embed(method: str, graph, *, dimension=32, window=5, multiplier=1.0, seed=SE
             method, graph, dimension=dimension, window=window,
             multiplier=multiplier, propagate=propagate, downsample=downsample,
             workers=workers, precision=precision, sparsifier=sparsifier,
-            seed=seed,
+            factorizer=factorizer, seed=seed,
         )
 
 

@@ -96,7 +96,7 @@ def _load_graph(args: argparse.Namespace):
 # dataclass defaults for everything else.
 _KNOB_ARGS = (
     "window", "multiplier", "propagate", "downsample", "workers", "backend",
-    "precision", "sparsifier", "batch_size",
+    "precision", "sparsifier", "factorizer", "batch_size",
 )
 
 
@@ -381,6 +381,17 @@ def build_parser() -> argparse.ArgumentParser:
                      "'ppr' (PSNE-style push-based PPR proximity); both are "
                      "deterministic per (seed, batch-size) at every worker "
                      "count and on both --backend substrates",
+            )
+        if "factorizer" in offered:
+            from repro.linalg.single_pass import FACTORIZERS
+
+            p.add_argument(
+                "--factorizer", choices=FACTORIZERS, default=None,
+                help="factorization backend: 'rsvd' (the paper's Algorithm "
+                     "3, 2+2q operator passes) or 'single_pass' (SketchNE-"
+                     "style sparse-sign sketch, one streamed pass; lower "
+                     "peak memory); both deterministic per seed at every "
+                     "worker count (default: the method's own)",
             )
         p.add_argument(
             "--batch-size", dest="batch_size", type=int, default=None,

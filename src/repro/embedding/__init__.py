@@ -15,6 +15,7 @@ from repro.embedding.netmf import NetMFParams, netmf_embedding, netmf_matrix_den
 from repro.embedding.netsmf import NetSMFParams, netsmf_embedding
 from repro.embedding.prone import ProNEParams, prone_embedding
 from repro.embedding.lightne import LightNEParams, lightne_embedding
+from repro.embedding.sketchne import SketchNEParams, sketchne_embedding
 from repro.embedding.line import LINEParams, line_embedding
 from repro.embedding.deepwalk import DeepWalkSGDParams, deepwalk_sgd_embedding
 from repro.embedding.pbg import PBGParams, pbg_embedding
@@ -53,6 +54,8 @@ __all__ = [
     "prone_embedding",
     "LightNEParams",
     "lightne_embedding",
+    "SketchNEParams",
+    "sketchne_embedding",
     "LINEParams",
     "line_embedding",
     "DeepWalkSGDParams",

@@ -30,7 +30,8 @@ from repro.embedding.base import (
 )
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
-from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
+from repro.linalg.randomized_svd import embedding_from_svd
+from repro.linalg.single_pass import factorize
 from repro.linalg.spectral import spectral_propagation
 from repro.sparsifier.backends import build_sparsifier
 from repro.sparsifier.builder import sparsifier_to_netmf_matrix
@@ -97,6 +98,12 @@ class LightNEParams:
         factorize + propagate path in float32 (float64 accumulation only in
         the small reductions), roughly halving dense-stage peak memory.
         ``"double"`` (default) is bit-identical to the legacy float64 path.
+    factorizer:
+        Factorization backend for the NetMF matrix: ``"rsvd"`` (default,
+        the paper's Algorithm 3 — bit-identical to the pre-knob pipeline)
+        or ``"single_pass"`` (the SketchNE-style sparse-sign sketched
+        factorization, one streamed pass over the matrix; see
+        :mod:`repro.linalg.single_pass`).
     batch_size:
         Maximum walk-slab size during sampling (peak-memory bound).
     """
@@ -116,6 +123,7 @@ class LightNEParams:
     workers: Optional[int] = None
     backend: str = "thread"
     precision: str = "double"
+    factorizer: str = "rsvd"
     batch_size: int = 2_000_000
 
     @staticmethod
@@ -178,9 +186,12 @@ def _lightne_body(ctx: PipelineContext):
         matrix = sparsifier_to_netmf_matrix(
             graph, sparsifier, negative_samples=params.negative_samples
         )
-        u, sigma, _ = randomized_svd(
-            matrix, params.dimension, seed=ctx.rng,
-            precision=params.precision, workers=params.workers,
+        # The trunc-log NetMF matrix is symmetric by construction, so the
+        # single-pass backend gets both sketched products from one pass.
+        u, sigma, _ = factorize(
+            matrix, params.dimension, factorizer=params.factorizer,
+            seed=ctx.rng, precision=params.precision,
+            workers=params.workers, symmetric=True,
         )
         vectors = embedding_from_svd(u, sigma)
     if params.propagate:
@@ -212,6 +223,7 @@ def _lightne_body(ctx: PipelineContext):
             "downsample": params.downsample,
             "propagated": params.propagate,
             "precision": params.precision,
+            "factorizer": params.factorizer,
             "backend": params.backend,
             "workers": int(sparsifier.stats.get("workers", 1)),
             "sparsifier_batches": int(sparsifier.stats.get("batches", 0)),

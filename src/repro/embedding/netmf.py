@@ -26,7 +26,8 @@ from repro.embedding.base import (
 from repro.errors import FactorizationError
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
-from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
+from repro.linalg.randomized_svd import embedding_from_svd
+from repro.linalg.single_pass import factorize
 from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
@@ -46,7 +47,9 @@ class NetMFParams:
     kernel layer (:mod:`repro.linalg.kernels`); ``precision="single"``
     halves the dense matrix's footprint during factorization.  ``backend``
     is accepted for CLI uniformity (dense NetMF has no out-of-core stage —
-    the substrate knob is a no-op here).
+    the substrate knob is a no-op here).  ``factorizer`` picks the
+    factorization backend (``"rsvd"`` default / ``"single_pass"``; see
+    :mod:`repro.linalg.single_pass`).
     """
 
     dimension: int = 128
@@ -57,6 +60,7 @@ class NetMFParams:
     workers: Optional[int] = None
     backend: str = "thread"
     precision: str = "double"
+    factorizer: str = "rsvd"
 
 
 def netmf_matrix_dense(
@@ -165,9 +169,11 @@ def _netmf_body(ctx: PipelineContext):
                 rank=params.eigen_rank,
             )
     with ctx.timer.stage("svd"):
-        u, sigma, _ = randomized_svd(
-            matrix, params.dimension, seed=ctx.rng,
-            precision=params.precision, workers=params.workers,
+        # Eq. (1)'s trunc-log matrix is symmetric for both strategies.
+        u, sigma, _ = factorize(
+            matrix, params.dimension, factorizer=params.factorizer,
+            seed=ctx.rng, precision=params.precision,
+            workers=params.workers, symmetric=True,
         )
         vectors = embedding_from_svd(u, sigma)
     ctx.info.update(
@@ -175,6 +181,7 @@ def _netmf_body(ctx: PipelineContext):
             "window": params.window,
             "negative_samples": params.negative_samples,
             "strategy": params.strategy,
+            "factorizer": params.factorizer,
         }
     )
     return vectors

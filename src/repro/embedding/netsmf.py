@@ -20,7 +20,8 @@ from repro.embedding.base import (
 )
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
-from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
+from repro.linalg.randomized_svd import embedding_from_svd
+from repro.linalg.single_pass import factorize
 from repro.sparsifier.backends import build_sparsifier
 from repro.sparsifier.builder import sparsifier_to_netmf_matrix
 from repro.sparsifier.path_sampling import PathSamplingConfig
@@ -61,6 +62,10 @@ class NetSMFParams:
     precision:
         Dense-kernel dtype policy (``"double"``/``"single"``); see
         :mod:`repro.linalg.kernels`.
+    factorizer:
+        ``"rsvd"`` (default, bit-identical to the pre-knob pipeline) or
+        ``"single_pass"`` (SketchNE-style sketched factorization); see
+        :mod:`repro.linalg.single_pass`.
     """
 
     dimension: int = 128
@@ -72,6 +77,7 @@ class NetSMFParams:
     workers: Optional[int] = None
     backend: str = "thread"
     precision: str = "double"
+    factorizer: str = "rsvd"
 
 
 def _netsmf_body(ctx: PipelineContext):
@@ -92,9 +98,10 @@ def _netsmf_body(ctx: PipelineContext):
         matrix = sparsifier_to_netmf_matrix(
             graph, result, negative_samples=params.negative_samples
         )
-        u, sigma, _ = randomized_svd(
-            matrix, params.dimension, seed=ctx.rng,
-            precision=params.precision, workers=params.workers,
+        u, sigma, _ = factorize(
+            matrix, params.dimension, factorizer=params.factorizer,
+            seed=ctx.rng, precision=params.precision,
+            workers=params.workers, symmetric=True,
         )
         vectors = embedding_from_svd(u, sigma)
     ctx.info.update(
@@ -104,6 +111,7 @@ def _netsmf_body(ctx: PipelineContext):
             "sparsifier": params.sparsifier,
             "sparsifier_nnz": result.nnz,
             "sample_multiplier": params.sample_multiplier,
+            "factorizer": params.factorizer,
         }
     )
     return vectors

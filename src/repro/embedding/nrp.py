@@ -35,7 +35,8 @@ from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.linalg.kernels import resolve_precision
 from repro.linalg.operators import polynomial_operator
-from repro.linalg.randomized_svd import embedding_from_svd, randomized_svd
+from repro.linalg.randomized_svd import embedding_from_svd
+from repro.linalg.single_pass import factorize
 from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
@@ -49,6 +50,10 @@ class NRPParams:
     :mod:`repro.linalg.kernels` (``"single"`` keeps the implicit operator's
     walk matrix and work buffers in float32).  ``backend`` is accepted for
     CLI uniformity (NRP's implicit operator has no out-of-core stage).
+    ``factorizer="single_pass"`` swaps the rSVD for the two-sided sketched
+    factorization (the PPR polynomial is *not* symmetric, so this path uses
+    one forward plus one adjoint operator application instead of rSVD's
+    ``2 + 2q``); see :mod:`repro.linalg.single_pass`.
     """
 
     dimension: int = 128
@@ -57,6 +62,7 @@ class NRPParams:
     workers: Optional[int] = None
     backend: str = "thread"
     precision: str = "double"
+    factorizer: str = "rsvd"
 
 
 def _nrp_body(ctx: PipelineContext):
@@ -81,12 +87,19 @@ def _nrp_body(ctx: PipelineContext):
             workers=params.workers,
             dtype=resolve_precision(params.precision),
         )
-        u, sigma, _ = randomized_svd(
-            operator, params.dimension, seed=ctx.rng,
-            precision=params.precision, workers=params.workers,
+        u, sigma, _ = factorize(
+            operator, params.dimension, factorizer=params.factorizer,
+            seed=ctx.rng, precision=params.precision,
+            workers=params.workers, symmetric=False,
         )
         vectors = embedding_from_svd(u, sigma)
-    ctx.info.update({"alpha": params.alpha, "order": params.order})
+    ctx.info.update(
+        {
+            "alpha": params.alpha,
+            "order": params.order,
+            "factorizer": params.factorizer,
+        }
+    )
     return vectors
 
 

@@ -35,6 +35,7 @@ from repro.embedding.node2vec import Node2VecParams, node2vec_embedding
 from repro.embedding.nrp import NRPParams, nrp_embedding
 from repro.embedding.pbg import PBGParams, pbg_embedding
 from repro.embedding.prone import ProNEParams, prone_embedding
+from repro.embedding.sketchne import SketchNEParams, sketchne_embedding
 from repro.errors import MethodParameterError, UnknownMethodError
 from repro.utils.rng import SeedLike
 
@@ -53,6 +54,7 @@ _KNOB_CAPABILITY: Dict[str, str] = {
     "downsample": "supports_downsample",
     "precision": "supports_precision",
     "sparsifier": "supports_sparsifier",
+    "factorizer": "supports_factorizer",
 }
 _KNOB_FIELD: Dict[str, str] = {"multiplier": "sample_multiplier"}
 
@@ -81,13 +83,15 @@ class MethodSpec:
         The Table-5 stage names this method records on its ``StageTimer``.
     supports_window / supports_workers / supports_multiplier /
     supports_propagate / supports_downsample / supports_precision /
-    supports_sparsifier:
+    supports_sparsifier / supports_factorizer:
         Capability flags gating the generic knobs shared across dispatch
         layers; unsupported knobs are rejected (``strict=True``) or dropped
         (``strict=False``) by :func:`make_params`.  ``precision`` selects
         the dense-kernel dtype policy (``"double"``/``"single"``) of
         :mod:`repro.linalg.kernels`; ``sparsifier`` selects the count-matrix
-        backend (``"path"``/``"ppr"``) of :mod:`repro.sparsifier.backends`.
+        backend (``"path"``/``"ppr"``) of :mod:`repro.sparsifier.backends`;
+        ``factorizer`` selects the factorization backend
+        (``"rsvd"``/``"single_pass"``) of :mod:`repro.linalg.single_pass`.
     """
 
     name: str
@@ -104,6 +108,7 @@ class MethodSpec:
     supports_downsample: bool = False
     supports_precision: bool = False
     supports_sparsifier: bool = False
+    supports_factorizer: bool = False
 
     def supports(self, knob: str) -> bool:
         """Whether the generic ``knob`` applies to this method."""
@@ -121,6 +126,7 @@ class MethodSpec:
             "downsample": self.supports_downsample,
             "precision": self.supports_precision,
             "sparsifier": self.supports_sparsifier,
+            "factorizer": self.supports_factorizer,
         }
 
     @property
@@ -254,6 +260,25 @@ register(
         supports_downsample=True,
         supports_precision=True,
         supports_sparsifier=True,
+        supports_factorizer=True,
+    )
+)
+register(
+    MethodSpec(
+        name="sketchne",
+        builder=sketchne_embedding,
+        params_type=SketchNEParams,
+        description="SketchNE/NetMF+: sparse-sign sketch, single-pass factorization, propagation",
+        aliases=("netmf+", "netmfplus"),
+        stages=("sparsifier", "svd", "propagation"),
+        supports_window=True,
+        supports_workers=True,
+        supports_multiplier=True,
+        supports_propagate=True,
+        supports_downsample=True,
+        supports_precision=True,
+        supports_sparsifier=True,
+        supports_factorizer=True,
     )
 )
 register(
@@ -268,6 +293,7 @@ register(
         supports_multiplier=True,
         supports_precision=True,
         supports_sparsifier=True,
+        supports_factorizer=True,
     )
 )
 register(
@@ -293,6 +319,7 @@ register(
         supports_window=True,
         supports_workers=True,
         supports_precision=True,
+        supports_factorizer=True,
     )
 )
 register(
@@ -306,6 +333,7 @@ register(
         supports_window=True,
         supports_workers=True,
         supports_precision=True,
+        supports_factorizer=True,
     )
 )
 register(
@@ -357,6 +385,7 @@ register(
         stages=("svd",),
         supports_workers=True,
         supports_precision=True,
+        supports_factorizer=True,
     )
 )
 register(

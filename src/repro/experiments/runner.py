@@ -41,6 +41,7 @@ def dispatch_method(
     workers: Optional[int] = None,
     precision: Optional[str] = None,
     sparsifier: Optional[str] = None,
+    factorizer: Optional[str] = None,
     seed: int = DEFAULT_SEED,
 ) -> EmbeddingResult:
     """Run one named method with the harness-level knobs.
@@ -51,7 +52,9 @@ def dispatch_method(
     not support are dropped (``strict=False``); unknown method names raise
     :class:`repro.errors.UnknownMethodError`.  ``sparsifier`` selects the
     count-matrix backend (``"path"``/``"ppr"``) on the methods that expose
-    it (lightne, netsmf).
+    it (lightne, sketchne, netsmf); ``factorizer`` the factorization backend
+    (``"rsvd"``/``"single_pass"``) on the methods that call the shared
+    factorize dispatcher.
     """
     return run_method(
         method,
@@ -66,6 +69,7 @@ def dispatch_method(
         workers=workers,
         precision=precision,
         sparsifier=sparsifier,
+        factorizer=factorizer,
     )
 
 

@@ -46,6 +46,37 @@ from repro.utils.rng import SeedLike, ensure_rng
 MatrixLike = Union[np.ndarray, sp.spmatrix, spla.LinearOperator]
 
 
+# Row-block height for single-precision Gaussian sketch generation: the
+# float64 draw transient is bounded to block_rows × sketch instead of the
+# whole n × sketch array.
+_SKETCH_BLOCK_ROWS = 8_192
+
+
+def _gaussian_sketch(
+    rng: np.random.Generator,
+    shape: Tuple[int, int],
+    dtype,
+    *,
+    block_rows: int = _SKETCH_BLOCK_ROWS,
+) -> np.ndarray:
+    """Gaussian test matrix in ``dtype`` without a full-size float64 copy.
+
+    The float64 path is one plain ``standard_normal`` call (bit-identical to
+    the historical generation).  The float32 path consumes the *same* draws
+    — ``standard_normal`` fills C-order, so drawing row blocks sequentially
+    yields identical values — but casts each block into the preallocated
+    float32 output, so the float64 transient is one block, not the sketch.
+    """
+    if np.dtype(dtype) == np.float64:
+        return rng.standard_normal(shape)
+    out = np.empty(shape, dtype=dtype)
+    rows = shape[0]
+    for r0 in range(0, rows, block_rows):
+        r1 = min(rows, r0 + block_rows)
+        out[r0:r1] = rng.standard_normal((r1 - r0,) + shape[1:])
+    return out
+
+
 def _matmat(matrix: MatrixLike, block: np.ndarray, *, workers=1) -> np.ndarray:
     """``matrix @ block`` for all supported matrix types."""
     if sp.issparse(matrix):
@@ -120,12 +151,14 @@ def randomized_svd(
     if single and hasattr(matrix, "astype") and matrix.dtype != dtype:
         matrix = matrix.astype(dtype)  # cast the operator once, like MKL's s-path
 
-    # Line 1-3: Y = Aᵀ O, orthonormalized.
+    # Line 1-3: Y = Aᵀ O, orthonormalized.  The sketch consumes the same
+    # float64 draws on both precisions (so single/double runs share their
+    # random sketch), but the float32 path casts per row block instead of
+    # materializing then casting the whole float64 array.
     with telemetry.span("svd.range_finder", rank=rank, sketch=sketch):
-        omega = rng.standard_normal((rows, sketch))
-        if single:
-            omega = omega.astype(dtype)
+        omega = _gaussian_sketch(rng, (rows, sketch), dtype)
         y = orthonormalize(_rmatmat(matrix, omega, workers=workers), strategy=ortho)
+        telemetry.counter("svd.operator_passes").inc()
     # Optional subspace iteration (QR-stabilized).
     for iteration in range(power_iterations):
         with telemetry.span("svd.power_iteration", iteration=iteration) as span:
@@ -135,16 +168,16 @@ def randomized_svd(
             y = orthonormalize(
                 _rmatmat(matrix, forward, workers=workers), strategy=ortho
             )
+            telemetry.counter("svd.operator_passes").inc(2)
         elapsed = getattr(span, "duration", None)
         if elapsed is not None:
             telemetry.histogram("svd.iteration_seconds").observe(elapsed)
     with telemetry.span("svd.factorize", sketch=sketch):
         # Line 4: B = A Y  (n × sketch).
         b = _matmat(matrix, y, workers=workers)
+        telemetry.counter("svd.operator_passes").inc()
         # Lines 5-6: Z = orth(B P) with P Gaussian (sketch × sketch).
-        p = rng.standard_normal((sketch, sketch))
-        if single:
-            p = p.astype(dtype)
+        p = _gaussian_sketch(rng, (sketch, sketch), dtype)
         z = orthonormalize(b @ p, strategy=ortho)
         # Lines 7-8: small SVD of C = Zᵀ B.  In single precision the big-n
         # reduction accumulates in float64 (the d×d/sketch×sketch exception
@@ -177,8 +210,28 @@ def embedding_from_svd(
     return u * scale[None, :]
 
 
+def _materialize(matrix: MatrixLike, block_cols: int = 256) -> np.ndarray:
+    """Densify any supported operand, including implicit LinearOperators.
+
+    ``np.asarray`` on a LinearOperator yields a useless 0-d object array, so
+    implicit operators are materialized by ``matmat`` against identity column
+    blocks instead (bounded-width probes; test-oracle scale only).
+    """
+    if sp.issparse(matrix):
+        return matrix.toarray()
+    if isinstance(matrix, spla.LinearOperator):
+        rows, cols = matrix.shape
+        dense = np.empty((rows, cols), dtype=np.result_type(matrix.dtype, np.float64))
+        eye = np.eye(cols, dtype=dense.dtype)
+        for c0 in range(0, cols, block_cols):
+            c1 = min(cols, c0 + block_cols)
+            dense[:, c0:c1] = np.asarray(matrix.matmat(eye[:, c0:c1]))
+        return dense
+    return np.asarray(matrix)
+
+
 def exact_reference_svd(matrix: MatrixLike, rank: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Dense exact truncated SVD (test oracle; small matrices only)."""
-    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
+    dense = _materialize(matrix)
     u, sigma, vt = np.linalg.svd(dense, full_matrices=False)
     return u[:, :rank], sigma[:rank], vt[:rank]

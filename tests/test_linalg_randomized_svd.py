@@ -101,6 +101,56 @@ class TestValidation:
             randomized_svd(np.eye(4), 2, oversampling=-1)
 
 
+class TestBlockedSketchGeneration:
+    def test_double_path_is_plain_standard_normal(self):
+        from repro.linalg.randomized_svd import _gaussian_sketch
+
+        direct = np.random.default_rng(21).standard_normal((40, 14))
+        blocked = _gaussian_sketch(
+            np.random.default_rng(21), (40, 14), np.float64
+        )
+        np.testing.assert_array_equal(direct, blocked)
+
+    def test_float32_blocks_consume_the_same_draws(self):
+        # The float32 sketch must be the cast of exactly the float64 draws
+        # (block boundaries cannot shift the stream), so single/double runs
+        # of the same seed share their random sketch.
+        from repro.linalg.randomized_svd import _gaussian_sketch
+
+        full = np.random.default_rng(22).standard_normal((100, 7))
+        blocked = _gaussian_sketch(
+            np.random.default_rng(22), (100, 7), np.float32, block_rows=13
+        )
+        assert blocked.dtype == np.float32
+        np.testing.assert_array_equal(blocked, full.astype(np.float32))
+
+    def test_single_path_quality_against_oracle(self, rng):
+        m = low_rank_matrix(60, 60, 5, rng)
+        u, sigma, vt = randomized_svd(m, 5, seed=22, precision="single")
+        assert u.dtype == np.float32
+        _, exact, _ = exact_reference_svd(m, 5)
+        np.testing.assert_allclose(sigma, exact, rtol=1e-2)
+
+
+class TestOperatorPassCounter:
+    @pytest.mark.parametrize("power_iterations", [0, 1, 2, 3])
+    def test_counts_two_plus_two_q(self, rng, power_iterations):
+        from repro import telemetry
+
+        m = low_rank_matrix(30, 30, 3, rng)
+        telemetry.enable()
+        telemetry.reset_metrics()
+        try:
+            randomized_svd(m, 3, seed=0, power_iterations=power_iterations)
+            snap = telemetry.get_metrics().snapshot()
+            assert snap["counters"]["svd.operator_passes"] == (
+                2 + 2 * power_iterations
+            )
+        finally:
+            telemetry.disable()
+            telemetry.reset_metrics()
+
+
 class TestEmbeddingFromSvd:
     def test_scaling(self):
         u = np.array([[1.0, 0.0], [0.0, 1.0]])

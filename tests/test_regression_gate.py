@@ -281,13 +281,13 @@ class TestEndToEndInjectedSleep:
         # Inject a real sleep into the svd stage and record a third run.
         import repro.embedding.lightne as lightne_mod
 
-        original = lightne_mod.randomized_svd
+        original = lightne_mod.factorize
 
         def slow_svd(*args, **kwargs):
             time.sleep(0.4)
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(lightne_mod, "randomized_svd", slow_svd)
+        monkeypatch.setattr(lightne_mod, "factorize", slow_svd)
         with ledger.enabled_scope(path=path, dataset="gate_ds"):
             run_method("lightne", graph, seed=0, dimension=8, window=3)
 
