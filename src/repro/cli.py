@@ -15,6 +15,10 @@ Subcommands
     Convert any readable graph into the memmappable CSR v2 container
     (``*.csrv2``) that the out-of-core ``--backend process`` path loads
     without materializing the arrays in RAM.
+``audit``
+    Diff the per-stage content digests of two ledger runs and localize
+    the first diverging stage (:mod:`repro.telemetry.audit`); pair with
+    ``--health record`` on the runs being compared.
 
 Observability flags (every subcommand, see ``docs/observability.md``):
 ``--verbose`` turns on the library's DEBUG log lines
@@ -26,7 +30,9 @@ Observability flags (every subcommand, see ``docs/observability.md``):
 (stage completion counts, plus worker liveness on ``--backend process``), and
 ``--ledger`` / ``--ledger-out runs.jsonl`` append one
 :class:`~repro.telemetry.ledger.RunRecord` per pipeline run to the run
-ledger (``REPRO_LEDGER=1`` enables the same without a flag).
+ledger (``REPRO_LEDGER=1`` enables the same without a flag), and
+``--health {off,record,warn,raise}`` sets the numerical-health policy
+(stage digests + contract probes; ``REPRO_HEALTH`` works too).
 """
 
 from __future__ import annotations
@@ -227,6 +233,20 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Stage-digest diff of two ledger runs (repro.telemetry.audit)."""
+    from repro.telemetry.audit import run_audit
+
+    return run_audit(
+        args.ledger_path,
+        args.runs,
+        method=args.audit_method,
+        dataset=args.audit_dataset,
+        strict=args.strict,
+        table_out=args.table_out,
+    )
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     """Method comparison table via the experiments runner."""
     from repro.experiments import format_table, run_method_comparison
@@ -317,6 +337,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--ledger-out", metavar="PATH",
             help="run-ledger JSONL path (implies --ledger)",
+        )
+        p.add_argument(
+            "--health", choices=("off", "record", "warn", "raise"),
+            default=None,
+            help="numerical-health policy: 'record' fingerprints every "
+                 "stage output and runs the contract probes (sparsifier "
+                 "mass, factorization residual, finiteness) into the "
+                 "ledger's health/digests blocks, 'warn' additionally logs "
+                 "failed probes, 'raise' turns them into a "
+                 "NumericalHealthError; default 'off' (REPRO_HEALTH also "
+                 "works)",
         )
 
     def add_method_arguments(p: argparse.ArgumentParser, dim_default: int) -> None:
@@ -479,6 +510,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--repeats", type=int, default=2)
     p_cmp.set_defaults(func=_cmd_compare)
 
+    from repro.telemetry.audit import add_audit_arguments
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="diff two ledger runs' stage digests; localize the first "
+             "diverging stage (record runs with --health record first)",
+    )
+    # Distinct dests: --ledger/--method mean other things on the embed-side
+    # subcommands and _run_with_telemetry inspects args.ledger.
+    add_audit_arguments(
+        p_audit, ledger_dest="ledger_path", method_dest="audit_method",
+        dataset_dest="audit_dataset",
+    )
+    p_audit.set_defaults(func=_cmd_audit)
+
     return parser
 
 
@@ -501,6 +547,14 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     if wants_ledger:
         ledger_mod.enable(path=ledger_out)
 
+    # --health sets the numerical-health policy for the whole command
+    # (the audit subcommand has no such flag — getattr keeps it optional).
+    health_policy = getattr(args, "health", None)
+    if health_policy:
+        from repro.telemetry import health as health_mod
+
+        health_mod.set_policy(health_policy)
+
     # --progress is independent of span tracing: it only needs the stage
     # labels parallel_map already carries (plus worker heartbeats on the
     # process backend), so it works with telemetry fully disabled.
@@ -518,6 +572,8 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
         finally:
             if wants_progress:
                 progress_mod.disable()
+            if health_policy:
+                health_mod.clear_policy()
             if wants_ledger:
                 print(f"run ledger -> {ledger_mod.active_path()}")
                 ledger_mod.disable()
@@ -540,6 +596,8 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     finally:
         if wants_progress:
             progress_mod.disable()
+        if health_policy:
+            health_mod.clear_policy()
         if trace_out:
             tracer.write_chrome_trace(trace_out)
             print(f"trace ({tracer.span_count} spans) -> {trace_out}")

@@ -19,8 +19,8 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from repro import telemetry
-from repro.telemetry import environment, ledger
-from repro.errors import FactorizationError
+from repro.telemetry import environment, health, ledger
+from repro.errors import FactorizationError, NumericalHealthError
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import StageTimer
@@ -112,6 +112,13 @@ class PipelineContext:
     info:
         Method-specific diagnostics; merged into the standardized
         ``EmbeddingResult.info`` after the body returns.
+    health:
+        The run's :class:`~repro.telemetry.health.HealthRecorder` (a fresh
+        recorder honoring the active policy; ``enabled`` is False when the
+        policy is ``off``).  ``run_pipeline`` also installs it as the
+        thread's active recorder, so stage code normally reaches it through
+        the module-level :func:`repro.telemetry.health.checkpoint` helper
+        rather than this field.
     """
 
     graph: Any
@@ -120,6 +127,7 @@ class PipelineContext:
     timer: StageTimer
     span: Any
     info: Dict[str, object] = field(default_factory=dict)
+    health: Any = None
 
 
 @dataclass(frozen=True)
@@ -149,10 +157,20 @@ def run_pipeline(
     standardized ``info`` keys (``method``, ``params``, ``n``, ``m``,
     ``telemetry_enabled`` and — when telemetry is on — a ``telemetry``
     snapshot of the metrics registry and span count).
+
+    Numerical health: a fresh :class:`~repro.telemetry.health.HealthRecorder`
+    is installed for the body (stage checkpoints, contract probes), the
+    final embedding is fingerprinted as stage ``"final"``, and — regardless
+    of the health policy — a fail-fast non-finite guard runs on the result
+    (raising :class:`~repro.errors.NumericalHealthError` under policy
+    ``raise``, warning and counting ``health.nonfinite`` otherwise).  With
+    the policy on, ``info["health"]`` / ``info["digests"]`` carry the
+    recorder summary into the ledger record.
     """
     validate_dimension(graph.num_vertices, params.dimension)
     rng = ensure_rng(seed)
     timer = StageTimer()
+    recorder = health.HealthRecorder()
     with telemetry.span(
         spec.name,
         n=graph.num_vertices,
@@ -160,9 +178,28 @@ def run_pipeline(
         dimension=params.dimension,
     ) as root:
         ctx = PipelineContext(
-            graph=graph, params=params, rng=rng, timer=timer, span=root
+            graph=graph, params=params, rng=rng, timer=timer, span=root,
+            health=recorder,
         )
-        vectors = spec.body(ctx)
+        # The recorder is thread-local-active for the body so lower layers
+        # (sparsifier dispatcher, factorize) hit their health hooks without
+        # threading the context through every signature.
+        with health.recorder_scope(recorder):
+            vectors = spec.body(ctx)
+            recorder.checkpoint("final", vectors)
+        # Fail-fast non-finite guard on the final embedding: always runs
+        # (one isfinite pass), independent of the digest/probe policy — a
+        # NaN embedding must never flow silently into eval or the ledger.
+        nonfinite = int(vectors.size - np.count_nonzero(np.isfinite(vectors)))
+        if nonfinite:
+            telemetry.counter("health.nonfinite").inc(nonfinite)
+            message = (
+                f"{spec.name}: final embedding contains {nonfinite} "
+                f"non-finite entries (shape {vectors.shape})"
+            )
+            if recorder.policy == "raise":
+                raise NumericalHealthError(message)
+            logger.warning(message)
 
     params_dict = dataclasses.asdict(params)
     info: Dict[str, object] = {
@@ -183,6 +220,9 @@ def run_pipeline(
         info["resolved_workers"] = 1
     info["resolved_backend"] = str(params_dict.get("backend") or "thread")
     info["env"] = environment.collect_fingerprint()
+    if recorder.enabled:
+        info["health"] = recorder.summary()
+        info["digests"] = recorder.digest_map()
     info["telemetry_enabled"] = telemetry.is_enabled()
     if telemetry.is_enabled():
         info["telemetry"] = {

@@ -36,6 +36,7 @@ from repro.linalg.spectral import spectral_propagation
 from repro.sparsifier.backends import build_sparsifier
 from repro.sparsifier.builder import sparsifier_to_netmf_matrix
 from repro.sparsifier.path_sampling import PathSamplingConfig
+from repro.telemetry import health
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike
 
@@ -186,6 +187,7 @@ def _lightne_body(ctx: PipelineContext):
         matrix = sparsifier_to_netmf_matrix(
             graph, sparsifier, negative_samples=params.negative_samples
         )
+        health.checkpoint("svd.netmf_matrix", matrix)
         # The trunc-log NetMF matrix is symmetric by construction, so the
         # single-pass backend gets both sketched products from one pass.
         u, sigma, _ = factorize(
@@ -194,6 +196,7 @@ def _lightne_body(ctx: PipelineContext):
             workers=params.workers, symmetric=True,
         )
         vectors = embedding_from_svd(u, sigma)
+        health.checkpoint("svd", vectors)
     if params.propagate:
         with ctx.timer.stage("propagation", order=params.propagation_order):
             # Out-of-core mode spills the filter's ping-pong buffers to
@@ -212,6 +215,7 @@ def _lightne_body(ctx: PipelineContext):
                 workers=params.workers,
                 offload_dir=offload_dir,
             )
+        health.checkpoint("propagation", vectors)
     ctx.span.set_attribute("sparsifier_nnz", sparsifier.nnz)
     ctx.info.update(
         {

@@ -25,6 +25,7 @@ from repro.linalg.single_pass import factorize
 from repro.sparsifier.backends import build_sparsifier
 from repro.sparsifier.builder import sparsifier_to_netmf_matrix
 from repro.sparsifier.path_sampling import PathSamplingConfig
+from repro.telemetry import health
 from repro.utils.rng import SeedLike
 
 GraphLike = Union[CSRGraph, CompressedGraph]
@@ -98,12 +99,14 @@ def _netsmf_body(ctx: PipelineContext):
         matrix = sparsifier_to_netmf_matrix(
             graph, result, negative_samples=params.negative_samples
         )
+        health.checkpoint("svd.netmf_matrix", matrix)
         u, sigma, _ = factorize(
             matrix, params.dimension, factorizer=params.factorizer,
             seed=ctx.rng, precision=params.precision,
             workers=params.workers, symmetric=True,
         )
         vectors = embedding_from_svd(u, sigma)
+        health.checkpoint("svd", vectors)
     ctx.info.update(
         {
             "window": params.window,

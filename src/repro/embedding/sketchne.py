@@ -39,6 +39,7 @@ from repro.linalg.spectral import spectral_propagation
 from repro.sparsifier.backends import build_sparsifier
 from repro.sparsifier.builder import sparsifier_to_netmf_matrix
 from repro.sparsifier.path_sampling import PathSamplingConfig
+from repro.telemetry import health
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike
 
@@ -121,6 +122,7 @@ def _sketchne_body(ctx: PipelineContext):
         matrix = sparsifier_to_netmf_matrix(
             graph, sparsifier, negative_samples=params.negative_samples
         )
+        health.checkpoint("svd.netmf_matrix", matrix)
         u, sigma, _ = factorize(
             matrix, params.dimension, factorizer=params.factorizer,
             oversampling=params.oversampling,
@@ -129,6 +131,7 @@ def _sketchne_body(ctx: PipelineContext):
             symmetric=True,
         )
         vectors = embedding_from_svd(u, sigma)
+        health.checkpoint("svd", vectors)
     if params.propagate:
         with ctx.timer.stage("propagation", order=params.propagation_order):
             offload_dir = (
@@ -144,6 +147,7 @@ def _sketchne_body(ctx: PipelineContext):
                 workers=params.workers,
                 offload_dir=offload_dir,
             )
+        health.checkpoint("propagation", vectors)
     ctx.span.set_attribute("sparsifier_nnz", sparsifier.nnz)
     ctx.info.update(
         {

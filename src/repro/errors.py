@@ -40,6 +40,15 @@ class FactorizationError(ReproError):
     """Randomized SVD or spectral propagation received invalid input."""
 
 
+class NumericalHealthError(ReproError):
+    """A numerical-health probe failed under the ``raise`` policy.
+
+    Raised by :mod:`repro.telemetry.health` when a stage output contains
+    non-finite entries or a contract probe (sparsifier total mass,
+    factorization residual) trips and the active policy is ``"raise"``.
+    """
+
+
 class EvaluationError(ReproError):
     """Invalid evaluation setup (e.g. empty test split, label mismatch)."""
 

@@ -210,6 +210,46 @@ def embedding_from_svd(
     return u * scale[None, :]
 
 
+def residual_estimate(
+    matrix: MatrixLike,
+    u: np.ndarray,
+    sigma: np.ndarray,
+    vt: np.ndarray,
+    *,
+    probes: int = 4,
+    seed: SeedLike = 0,
+) -> float:
+    """Probe-vector estimate of the relative residual ``‖A − UΣVᵀ‖/‖A‖``.
+
+    Draws ``probes`` Gaussian test vectors ``g`` and returns
+    ``‖A·G − U·Σ·(Vᵀ·G)‖_F / ‖A·G‖_F`` — a cheap posterior accuracy check
+    costing one ``matmat`` against a ``k × probes`` block instead of ever
+    densifying the operator.  Everything accumulates in float64, and the
+    products run serially, so the estimate is deterministic for a fixed
+    ``seed`` regardless of how the factorization itself was threaded.
+
+    This is the numerical-health layer's factorization probe
+    (:func:`repro.telemetry.health.check_factorization_residual`); callers
+    there pass a fixed internal seed so the probe never consumes the
+    pipeline RNG.
+    """
+    if probes < 1:
+        raise FactorizationError(f"probes must be >= 1, got {probes}")
+    rng = ensure_rng(seed)
+    cols = matrix.shape[1]
+    g = rng.standard_normal((cols, probes))
+    ag = _matmat(matrix, g, workers=1).astype(np.float64, copy=False)
+    approx = u.astype(np.float64, copy=False) @ (
+        np.asarray(sigma, dtype=np.float64)[:, None]
+        * (vt.astype(np.float64, copy=False) @ g)
+    )
+    numerator = float(np.linalg.norm(ag - approx))
+    denominator = float(np.linalg.norm(ag))
+    if denominator == 0.0:
+        return 0.0 if numerator == 0.0 else float("inf")
+    return numerator / denominator
+
+
 def _materialize(matrix: MatrixLike, block_cols: int = 256) -> np.ndarray:
     """Densify any supported operand, including implicit LinearOperators.
 

@@ -61,6 +61,7 @@ import scipy.sparse.linalg as spla
 
 from repro import telemetry
 from repro.errors import FactorizationError
+from repro.telemetry import health
 from repro.linalg.kernels import (
     gram,
     orthonormalize,
@@ -409,7 +410,7 @@ def factorize(
     """
     name = "rsvd" if factorizer is None else str(factorizer).replace("-", "_")
     if name == "rsvd":
-        return randomized_svd(
+        factors = randomized_svd(
             matrix,
             rank,
             oversampling=10 if oversampling is None else oversampling,
@@ -418,8 +419,8 @@ def factorize(
             precision=precision,
             workers=workers,
         )
-    if name == "single_pass":
-        return single_pass_svd(
+    elif name == "single_pass":
+        factors = single_pass_svd(
             matrix,
             rank,
             oversampling=oversampling,
@@ -430,6 +431,12 @@ def factorize(
             symmetric=symmetric,
             block_rows=block_rows,
         )
-    raise FactorizationError(
-        f"factorizer must be one of {FACTORIZERS}, got {factorizer!r}"
-    )
+    else:
+        raise FactorizationError(
+            f"factorizer must be one of {FACTORIZERS}, got {factorizer!r}"
+        )
+    # Posterior accuracy probe (no-op without an active HealthRecorder):
+    # fixed-seed probe vectors, serial products, float64 accumulation — the
+    # check never consumes pipeline RNG and never perturbs the factors.
+    health.check_factorization_residual(matrix, *factors)
+    return factors

@@ -45,6 +45,7 @@ import scipy.sparse as sp
 
 from repro import telemetry
 from repro.errors import SamplingError
+from repro.telemetry import health
 from repro.graph.compression import CompressedGraph
 from repro.graph.csr import CSRGraph
 from repro.sparsifier.builder import (
@@ -181,6 +182,9 @@ class PPRBackend(SparsifierBackend):
             stats["aggregation_seconds"] = time.perf_counter() - tic
             counts = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
             telemetry.gauge("sparsifier.nnz").set(counts.nnz)
+            # Same contract stat as build_netmf_sparsifier: retained mass
+            # vs the draw budget M (checked by the health layer).
+            stats["total_mass"] = float(counts.sum())
         for name in _STAGE_COUNTERS:
             if name in stats:
                 timer.set_counter("sparsifier", name, float(stats[name]))
@@ -223,8 +227,18 @@ def build_sparsifier(
     backend: Optional[str] = None,
     batch_size: int = 2_000_000,
 ) -> SparsifierResult:
-    """Dispatch to the named backend — the embedding pipelines' entry point."""
-    return get_sparsifier_backend(sparsifier).build(
+    """Dispatch to the named backend — the embedding pipelines' entry point.
+
+    All backends flow through here, so this is where the numerical-health
+    layer fingerprints the count matrix (stage ``"sparsifier"``) and checks
+    the estimator's total-mass contract ``E[Σ W] = M`` — one hook covering
+    every backend identically.  Both are no-ops unless a pipeline installed
+    an active :class:`~repro.telemetry.health.HealthRecorder`.
+    """
+    result = get_sparsifier_backend(sparsifier).build(
         graph, config, seed, aggregator=aggregator, timer=timer,
         workers=workers, backend=backend, batch_size=batch_size,
     )
+    health.checkpoint("sparsifier", result.counts)
+    health.check_sparsifier_mass(result.counts, result.num_draws)
+    return result

@@ -245,6 +245,9 @@ def build_netmf_sparsifier(
         stats["aggregation_seconds"] = time.perf_counter() - tic
         counts = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
         telemetry.gauge("sparsifier.nnz").set(counts.nnz)
+        # Total retained mass: the health layer's contract check compares
+        # this against the draw budget M (E[Σ W] = M for the estimator).
+        stats["total_mass"] = float(counts.sum())
     for name in (
         "walk_samples", "batches", "workers", "samples_per_sec",
         "peak_table_bytes",

@@ -29,7 +29,15 @@ On top of the substrate sits the *persistence* layer:
   comparison of new runs against ledger baselines;
 * **Reports** (:mod:`repro.telemetry.report`, CLI
   ``python -m repro.telemetry.report``) — terminal and self-contained
-  HTML trajectory/stage-breakdown/flamegraph rendering.
+  HTML trajectory/stage-breakdown/flamegraph rendering;
+* **Numerical health** (:mod:`repro.telemetry.health`, CLI ``--health``)
+  — per-stage content digests plus contract probes (sparsifier mass,
+  factorization residual, finiteness), recorded into spans, metrics and
+  the ledger's ``health``/``digests`` blocks under a configurable
+  ``off|record|warn|raise`` policy;
+* **Determinism audit** (:mod:`repro.telemetry.audit`, CLI
+  ``lightne audit`` / ``python -m repro.telemetry.audit``) — diffs two
+  ledger runs digest by digest and localizes the first diverging stage.
 
 Everything is **disabled by default** and the instrumentation left in the
 hot paths costs a single gated function call in that state.  Typical use::
@@ -79,9 +87,20 @@ from repro.telemetry.memory import (
 )
 from repro.telemetry.environment import collect_fingerprint, fingerprint_key
 from repro.telemetry.ledger import RunLedger, RunRecord
+from repro.telemetry.health import (
+    HealthRecorder,
+    ProbeResult,
+    StageDigest,
+    digest_csr,
+    digest_dense,
+    fingerprint,
+)
 
 # Submodules imported for attribute access (telemetry.progress.enable()
-# etc.); ``worker`` must come after ``progress``, which it imports.
+# etc.); ``worker`` must come after ``progress``, which it imports;
+# ``health`` is also re-imported as a submodule so ``telemetry.health.
+# set_policy(...)`` works without a separate import.
+from repro.telemetry import health
 from repro.telemetry import progress
 from repro.telemetry import worker
 
@@ -119,6 +138,14 @@ __all__ = [
     "fingerprint_key",
     "RunLedger",
     "RunRecord",
+    # numerical health
+    "HealthRecorder",
+    "ProbeResult",
+    "StageDigest",
+    "digest_csr",
+    "digest_dense",
+    "fingerprint",
+    "health",
     # cross-process layer
     "progress",
     "worker",

@@ -103,6 +103,12 @@ class RunRecord:
     env: Dict[str, object] = field(default_factory=dict)
     metrics: Dict[str, object] = field(default_factory=dict)
     quality: Dict[str, float] = field(default_factory=dict)
+    # Numerical-health blocks (repro.telemetry.health): ``digests`` maps
+    # stage name -> content-digest hex, ``health`` holds the full recorder
+    # summary (policy, per-stage stats, probe results).  Both empty when the
+    # run recorded with the health layer off; optional for old ledger lines.
+    health: Dict[str, object] = field(default_factory=dict)
+    digests: Dict[str, str] = field(default_factory=dict)
     peak_rss_bytes: Optional[int] = None
     context: str = ""
     extra: Dict[str, object] = field(default_factory=dict)
@@ -162,6 +168,8 @@ class RunRecord:
             "peak_rss_bytes": self.peak_rss_bytes,
             "metrics": self.metrics,
             "quality": self.quality,
+            "health": self.health,
+            "digests": self.digests,
             "context": self.context,
             "extra": self.extra,
         }
@@ -185,6 +193,11 @@ class RunRecord:
             env=dict(data.get("env") or {}),
             metrics=dict(data.get("metrics") or {}),
             quality=dict(data.get("quality") or {}),
+            health=dict(data.get("health") or {}),
+            digests={
+                str(k): str(v)
+                for k, v in dict(data.get("digests") or {}).items()
+            },
             peak_rss_bytes=data.get("peak_rss_bytes"),  # type: ignore[arg-type]
             context=str(data.get("context") or ""),
             extra=dict(data.get("extra") or {}),
@@ -468,6 +481,8 @@ def build_record(
             else:
                 resolved = 1
         record_extra["resolved_workers"] = int(resolved)
+    health_block = info.get("health")
+    digest_block = info.get("digests")
     return RunRecord(
         method=result.method,
         dataset=dataset or current_dataset() or "unknown",
@@ -478,6 +493,8 @@ def build_record(
         env=dict(env),
         metrics=raw_metrics,
         quality=dict(quality or {}),
+        health=dict(health_block) if isinstance(health_block, Mapping) else {},
+        digests=dict(digest_block) if isinstance(digest_block, Mapping) else {},
         peak_rss_bytes=_peak_rss(raw_metrics),
         context=context,
         extra=record_extra,

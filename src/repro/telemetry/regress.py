@@ -12,7 +12,10 @@ group against their baseline, prints a per-stage delta table and exits
 
 A fingerprint mismatch (different CPU / BLAS / library versions than every
 baseline run) downgrades the affected group to warn-only: the table is
-still printed, but cross-hardware deltas never fail the gate.
+still printed, but cross-hardware *timing* deltas never fail the gate.
+Quality scores (``quality.*`` rows, gated by ``--quality-slack``) fail the
+gate regardless of the fingerprint — a deterministic pipeline's micro-F1 /
+MRR do not depend on the machine.
 
 Examples
 --------
@@ -38,6 +41,7 @@ from repro.telemetry.ledger import RunLedger
 from repro.telemetry.regression import (
     DEFAULT_ABS_SLACK,
     DEFAULT_MIN_SECONDS,
+    DEFAULT_QUALITY_SLACK,
     DEFAULT_TOLERANCE,
     DEFAULT_Z_THRESHOLD,
     RegressionReport,
@@ -82,9 +86,21 @@ def _print_report(report: RegressionReport) -> None:
         print(format_rows([d.as_row() for d in report.deltas]))
     status = "OK" if report.ok else "REGRESSION"
     if report.regressions:
-        stages = ", ".join(d.stage for d in report.regressions)
-        qualifier = "" if report.gated else " (not gated: fingerprint mismatch)"
-        print(f"  -> {status}: slower stages: {stages}{qualifier}")
+        quality = report.quality_regressions
+        timing = [d for d in report.regressions if d not in quality]
+        parts = []
+        if timing:
+            stages = ", ".join(d.stage for d in timing)
+            qualifier = (
+                "" if report.gated else " (not gated: fingerprint mismatch)"
+            )
+            parts.append(f"slower stages: {stages}{qualifier}")
+        if quality:
+            # Quality drops gate regardless of the fingerprint.
+            parts.append(
+                "quality drops: " + ", ".join(d.stage for d in quality)
+            )
+        print(f"  -> {status}: " + "; ".join(parts))
     else:
         print(f"  -> {status}")
 
@@ -130,6 +146,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
         help="stages faster than this are never gated (default %(default)s)",
     )
+    parser.add_argument(
+        "--quality-slack", type=float, default=DEFAULT_QUALITY_SLACK,
+        help="absolute score drop (micro-F1, MRR, ...) that fails the "
+             "quality gate; quality rows gate even on a fingerprint "
+             "mismatch (default %(default)s)",
+    )
     args = parser.parse_args(argv)
     stage_tolerances = _parse_stage_tolerances(args.stage_tolerance)
 
@@ -158,6 +180,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         abs_slack=args.abs_slack,
         z_threshold=args.z_threshold,
         min_seconds=args.min_seconds,
+        quality_slack=args.quality_slack,
         baseline_records=baseline_records,
     )
     if not reports:

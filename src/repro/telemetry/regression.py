@@ -22,6 +22,13 @@ noise?*  The comparison is deliberately robust rather than clever:
 ``NaN`` or missing stage timings never crash the gate: they are dropped
 from the statistics and reported as notes.  Speedups are never flagged.
 
+Beyond timing, the gate also watches **quality** (``RunRecord.quality`` —
+micro-F1, MRR, ...): per metric, a candidate median more than
+``quality_slack`` absolute points below the baseline median is a
+``quality.<metric>`` regression.  Quality rows gate even when the
+environment fingerprint differs — a deterministic pipeline's scores do not
+depend on the machine — while timing rows stay advisory in that case.
+
 The CLI wrapper lives in :mod:`repro.telemetry.regress`
 (``python -m repro.telemetry.regress``), which exits non-zero on a
 confirmed regression and prints the per-stage delta table.
@@ -41,6 +48,16 @@ DEFAULT_MIN_SECONDS = 0.005
 DEFAULT_TOLERANCE = 0.25     # candidate > baseline by 25 % trips the gate...
 DEFAULT_ABS_SLACK = 0.05     # ...but only if it is also 50 ms slower...
 DEFAULT_Z_THRESHOLD = 3.0    # ...and 3 robust sigmas out (when MAD exists).
+
+# Quality gating (micro-F1, MRR, ... from RunRecord.quality): a candidate
+# whose median score drops more than this many absolute points below the
+# baseline median is a regression.  Scores are hardware-independent for a
+# deterministic pipeline, so quality rows gate even when the environment
+# fingerprint differs (unlike timing rows).
+DEFAULT_QUALITY_SLACK = 0.02
+
+# StageDelta rows for quality metrics carry this stage-name prefix.
+QUALITY_STAGE_PREFIX = "quality."
 
 MAD_SIGMA_SCALE = 1.4826     # MAD -> sigma under normal noise
 
@@ -123,14 +140,35 @@ class RegressionReport:
         return [d for d in self.deltas if d.regressed]
 
     @property
+    def quality_regressions(self) -> List[StageDelta]:
+        """Confirmed quality-score drops (``quality.*`` rows)."""
+        return [
+            d for d in self.regressions
+            if d.stage.startswith(QUALITY_STAGE_PREFIX)
+        ]
+
+    @property
     def gated(self) -> bool:
-        """Whether this group may fail the gate (fingerprint matched)."""
+        """Whether this group may fail the gate on *timing* (fingerprint
+        matched); quality rows gate regardless."""
         return self.fingerprint_matched
 
     @property
     def ok(self) -> bool:
-        """True unless a gated group confirmed at least one regression."""
-        return not (self.gated and self.regressions)
+        """True unless a regression gates this group.
+
+        Timing regressions only gate when the environment fingerprint
+        matched the baseline (different hardware is advisory).  Quality
+        regressions gate unconditionally — scores from a deterministic
+        pipeline do not depend on the machine.
+        """
+        if self.quality_regressions:
+            return False
+        timing = [
+            d for d in self.regressions
+            if not d.stage.startswith(QUALITY_STAGE_PREFIX)
+        ]
+        return not (self.gated and timing)
 
 
 def select_baseline(
@@ -180,6 +218,7 @@ def compare(
     abs_slack: float = DEFAULT_ABS_SLACK,
     z_threshold: float = DEFAULT_Z_THRESHOLD,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    quality_slack: float = DEFAULT_QUALITY_SLACK,
     fingerprint_matched: bool = True,
 ) -> RegressionReport:
     """Noise-aware per-stage comparison of ``candidates`` vs ``baseline``.
@@ -188,6 +227,12 @@ def compare(
     are summarized by their median per stage; so is the baseline, together
     with its MAD.  Per-stage relative tolerances override the default via
     ``stage_tolerances``.
+
+    Quality metrics recorded on the runs (``RunRecord.quality`` — micro-F1,
+    MRR, ...) are compared the same median-vs-median way as ``quality.*``
+    rows: a candidate median more than ``quality_slack`` absolute points
+    *below* the baseline median is a regression (higher is better for every
+    recorded score; improvements are never flagged).
     """
     stage_tolerances = dict(stage_tolerances or {})
     anchor = candidates[0] if candidates else (baseline[0] if baseline else None)
@@ -275,6 +320,60 @@ def compare(
             if not delta.regressed and slower_enough:
                 delta.note = "within noise (z)"
         report.deltas.append(delta)
+
+    # Quality rows: absolute-slack gate on score drops (higher = better).
+    quality_keys: List[str] = []
+    for record in list(baseline) + list(candidates):
+        for name in record.quality:
+            if name not in quality_keys:
+                quality_keys.append(name)
+    for name in quality_keys:
+        stage = QUALITY_STAGE_PREFIX + name
+        base_values = _finite([r.quality.get(name) for r in baseline])
+        cand_values = _finite([r.quality.get(name) for r in candidates])
+        if not base_values and not cand_values:
+            continue
+        if not cand_values:
+            report.deltas.append(
+                StageDelta(
+                    stage=stage,
+                    baseline_median=median(base_values),
+                    baseline_mad=mad(base_values) if len(base_values) > 1 else None,
+                    baseline_count=len(base_values),
+                    candidate=None,
+                    note="missing in candidate",
+                )
+            )
+            continue
+        cand = median(cand_values)
+        if not base_values:
+            report.deltas.append(
+                StageDelta(
+                    stage=stage,
+                    baseline_median=None,
+                    baseline_mad=None,
+                    baseline_count=0,
+                    candidate=cand,
+                    note="new metric (no baseline)",
+                )
+            )
+            continue
+        base = median(base_values)
+        spread = mad(base_values, base) if len(base_values) > 1 else None
+        delta = StageDelta(
+            stage=stage,
+            baseline_median=base,
+            baseline_mad=spread,
+            baseline_count=len(base_values),
+            candidate=cand,
+        )
+        delta.rel_delta = (cand - base) / base if base != 0 else None
+        if spread is not None and spread > 0:
+            delta.z_score = (cand - base) / (MAD_SIGMA_SCALE * spread)
+        delta.regressed = (base - cand) > quality_slack
+        if not delta.regressed and cand < base:
+            delta.note = "within slack"
+        report.deltas.append(delta)
     return report
 
 
@@ -289,6 +388,7 @@ def detect(
     abs_slack: float = DEFAULT_ABS_SLACK,
     z_threshold: float = DEFAULT_Z_THRESHOLD,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    quality_slack: float = DEFAULT_QUALITY_SLACK,
     baseline_records: Optional[Sequence[RunRecord]] = None,
 ) -> List[RegressionReport]:
     """Run the gate over every matching group in ``records``.
@@ -330,6 +430,7 @@ def detect(
                 abs_slack=abs_slack,
                 z_threshold=z_threshold,
                 min_seconds=min_seconds,
+                quality_slack=quality_slack,
                 fingerprint_matched=matched,
             )
         )

@@ -122,23 +122,50 @@ def group_records(
     return groups
 
 
+def _group_quality_metric(group: Sequence[RunRecord]) -> Optional[str]:
+    """The group's headline quality metric: first one any run recorded."""
+    for record in group:
+        for name in record.quality:
+            return name
+    return None
+
+
+def _quality_series(
+    group: Sequence[RunRecord], metric: str
+) -> List[float]:
+    """That metric's values across the group's runs (recorded ones only)."""
+    return [
+        float(record.quality[metric])
+        for record in group
+        if metric in record.quality
+    ]
+
+
 def trajectory_rows(records: Sequence[RunRecord]) -> List[Dict[str, object]]:
-    """One trajectory row per group: run count, latest total, sparkline."""
+    """One trajectory row per group: run count, latest total, time and
+    quality sparklines (quality from the runs' ``quality`` ledger fields)."""
     rows: List[Dict[str, object]] = []
     for key in sorted(group_records(records)):
         group = group_records(records)[key]
         totals = [r.total_s for r in group]
-        rows.append(
-            {
-                "method": key[0],
-                "dataset": key[1],
-                "params": key[2][:8],
-                "runs": len(group),
-                "latest_s": round(totals[-1], 4),
-                "median_s": round(sorted(totals)[len(totals) // 2], 4),
-                "trend": sparkline(totals),
-            }
-        )
+        row: Dict[str, object] = {
+            "method": key[0],
+            "dataset": key[1],
+            "params": key[2][:8],
+            "runs": len(group),
+            "latest_s": round(totals[-1], 4),
+            "median_s": round(sorted(totals)[len(totals) // 2], 4),
+            "trend": sparkline(totals),
+        }
+        metric = _group_quality_metric(group)
+        if metric is not None:
+            values = _quality_series(group, metric)
+            row["quality"] = f"{metric}={values[-1]:.4g}" if values else None
+            row["quality_trend"] = sparkline(values)
+        else:
+            row["quality"] = None
+            row["quality_trend"] = ""
+        rows.append(row)
     return rows
 
 
@@ -395,6 +422,18 @@ def render_html(
                 f"{len(group)} runs]</span></h3>"
             )
             parts.append(_svg_sparkline(totals) or "")
+            # Quality trajectory next to the stage-time one, sourced from
+            # the runs' ledger ``quality`` fields (micro-F1, MRR, ...).
+            quality_metric = _group_quality_metric(group)
+            if quality_metric is not None:
+                quality_svg = _svg_sparkline(
+                    _quality_series(group, quality_metric)
+                )
+                if quality_svg:
+                    parts.append(
+                        f" <span class=meta>{_esc(quality_metric)}</span> "
+                        + quality_svg
+                    )
             stage_names = list(group[-1].stages)
             recent = group[-last:]
             rows = []
@@ -412,6 +451,11 @@ def render_html(
                 row["total_s"] = round(record.total_s, 4)
                 if record.peak_rss_bytes:
                     row["peak_MiB"] = round(record.peak_rss_bytes / (1 << 20), 1)
+                if quality_metric is not None:
+                    value = record.quality.get(quality_metric)
+                    row[quality_metric] = (
+                        None if value is None else round(float(value), 4)
+                    )
                 rows.append(row)
             parts.append(_html_table(rows))
 

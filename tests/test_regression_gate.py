@@ -30,6 +30,7 @@ def make_record(
     env=ENV_A,
     params=None,
     seed=0,
+    quality=None,
 ):
     stages = dict(stages or {"sparsifier": 1.0, "svd": 2.0})
     return RunRecord(
@@ -40,6 +41,7 @@ def make_record(
         total_s=sum(v for v in stages.values() if isinstance(v, (int, float))),
         seed=seed,
         env=dict(env),
+        quality=dict(quality or {}),
     )
 
 
@@ -197,6 +199,85 @@ class TestDetect:
         reports = detect([slow], baseline_records=baseline)
         assert len(reports) == 1
         assert not reports[0].ok
+
+
+class TestQualityGate:
+    """Quality scores (micro-F1, MRR, ...) gate on absolute drops."""
+
+    def test_drop_beyond_slack_fails(self):
+        baseline = [make_record(quality={"micro_f1": 0.40}) for _ in range(3)]
+        worse = make_record(quality={"micro_f1": 0.35})
+        report = compare(baseline, [worse], quality_slack=0.02)
+        assert not report.ok
+        assert [d.stage for d in report.quality_regressions] == [
+            "quality.micro_f1"
+        ]
+
+    def test_within_slack_passes(self):
+        baseline = [make_record(quality={"micro_f1": 0.40}) for _ in range(3)]
+        slightly = make_record(quality={"micro_f1": 0.39})
+        report = compare(baseline, [slightly], quality_slack=0.02)
+        assert report.ok
+        (delta,) = [
+            d for d in report.deltas if d.stage == "quality.micro_f1"
+        ]
+        assert not delta.regressed
+        assert delta.note == "within slack"
+
+    def test_improvement_never_flags(self):
+        baseline = [make_record(quality={"micro_f1": 0.40}) for _ in range(3)]
+        better = make_record(quality={"micro_f1": 0.55})
+        assert compare(baseline, [better]).ok
+
+    def test_gates_even_on_fingerprint_mismatch(self):
+        """Scores are hardware-independent: a drop fails even warn-only."""
+        baseline = [
+            make_record(env=ENV_B, quality={"micro_f1": 0.40})
+            for _ in range(3)
+        ]
+        worse = make_record(env=ENV_A, quality={"micro_f1": 0.30})
+        report = compare(
+            baseline, [worse], fingerprint_matched=False, quality_slack=0.02
+        )
+        assert not report.ok
+        assert report.quality_regressions
+
+    def test_timing_regression_still_warn_only_on_mismatch(self):
+        """Quality gating must not drag timing rows into the gate."""
+        baseline = [
+            make_record(env=ENV_B, quality={"micro_f1": 0.40})
+            for _ in range(3)
+        ]
+        slow = make_record(
+            env=ENV_A,
+            stages={"sparsifier": 9.0, "svd": 9.0},
+            quality={"micro_f1": 0.40},
+        )
+        report = compare(baseline, [slow], fingerprint_matched=False)
+        assert report.regressions  # timing rows reported...
+        assert not report.quality_regressions
+        assert report.ok           # ...but never gated cross-hardware
+
+    def test_new_and_missing_metrics_never_gate(self):
+        baseline = [make_record(quality={"micro_f1": 0.40}) for _ in range(3)]
+        cand = make_record(quality={"mrr": 0.60})
+        report = compare(baseline, [cand])
+        assert report.ok
+        notes = {d.stage: d.note for d in report.deltas}
+        assert notes["quality.mrr"] == "new metric (no baseline)"
+        assert notes["quality.micro_f1"] == "missing in candidate"
+
+    def test_quality_slack_flag_in_cli(self, tmp_path, capsys):
+        path = tmp_path / "runs.jsonl"
+        led = RunLedger(str(path))
+        for _ in range(3):
+            led.append(make_record(quality={"micro_f1": 0.40}))
+        led.append(make_record(quality={"micro_f1": 0.35}))
+        assert regress.main(["--ledger", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "quality drops: quality.micro_f1" in out
+        # A looser slack absorbs the same drop.
+        assert regress.main(["--ledger", str(path), "--quality-slack", "0.1"]) == 0
 
     def test_filters(self):
         records = [make_record(), make_record(method="netsmf")]

@@ -65,6 +65,26 @@ class TestTextBuildingBlocks:
         assert lightne["runs"] == 3
         assert len(lightne["trend"]) == 3
 
+    def test_trajectory_rows_quality_columns(self):
+        records = [
+            make_record(quality={"micro_f1": v}) for v in (0.38, 0.40, 0.41)
+        ]
+        records.append(make_record(method="netsmf"))  # no quality recorded
+        rows = {r["method"]: r for r in trajectory_rows(records)}
+        assert rows["lightne"]["quality"] == "micro_f1=0.41"
+        assert len(rows["lightne"]["quality_trend"]) == 3
+        assert rows["netsmf"]["quality"] is None
+        assert rows["netsmf"]["quality_trend"] == ""
+
+    def test_quality_trend_skips_runs_without_the_metric(self):
+        records = [
+            make_record(quality={"micro_f1": 0.38}),
+            make_record(),  # a perf-only run in the same group
+            make_record(quality={"micro_f1": 0.40}),
+        ]
+        (row,) = trajectory_rows(records)
+        assert len(row["quality_trend"]) == 2
+
 
 class TestMetricsDiff:
     def test_counter_gauge_and_stage_rows(self):
@@ -130,6 +150,25 @@ class TestHTML:
         assert "sparsifier" in html
         assert "<svg" in html          # trajectory sparkline
         assert "Table 5" in html
+
+    def test_quality_sparkline_next_to_stage_trend(self):
+        records = [
+            make_record(total=t, quality={"micro_f1": q})
+            for t, q in ((1.0, 0.38), (1.1, 0.40), (0.9, 0.41))
+        ]
+        html = render_html(records)
+        # Metric label rendered next to its own sparkline, and the per-run
+        # table carries the score column.
+        assert "micro_f1" in html
+        assert html.count("<svg") >= 2  # stage-time + quality trends
+        assert "0.41" in html
+
+    def test_no_quality_no_extra_sparkline(self):
+        with_q = render_html(
+            [make_record(total=t, quality={"mrr": 0.5}) for t in (1.0, 1.1)]
+        )
+        without_q = render_html([make_record(total=t) for t in (1.0, 1.1)])
+        assert with_q.count("<svg") > without_q.count("<svg")
 
     def test_empty_ledger(self):
         html = render_html([])
